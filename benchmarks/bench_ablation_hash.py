@@ -1,0 +1,64 @@
+"""Ablation: the Fig. 4 indexing structure's entry-size policy.
+
+The paper grows per-entry index arrays from m/4 (word-aligned slots)
+to m (byte slots) on the first unaligned access.  This bench compares
+entry widths and measures the raw structure operations the detectors
+lean on.
+"""
+
+import pytest
+
+from repro.shadow.hash_table import ShadowTable
+
+
+@pytest.mark.parametrize("m", [32, 128, 512])
+def test_entry_width_sweep(benchmark, m):
+    """Point writes/reads across a mixed aligned/unaligned pattern."""
+
+    def run():
+        t = ShadowTable(m=m)
+        for a in range(0x1000, 0x3000, 4):
+            t.set(a, a)
+        for a in range(0x1001, 0x2001, 16):  # trigger byte expansion
+            t.set(a, a)
+        hits = 0
+        for a in range(0x1000, 0x3000):
+            if t.get(a) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert hits == 2048 + 256
+
+
+def test_bulk_range_ops(benchmark):
+    """set_range / get_run / delete_range — the group fast paths."""
+
+    def run():
+        t = ShadowTable()
+        for base in range(0x10000, 0x20000, 0x400):
+            t.set_range(base, base + 0x200, "g")
+        probes = sum(
+            1 for base in range(0x10000, 0x20000, 0x400)
+            if t.get_run(base, base + 8) is not None
+        )
+        removed = t.delete_range(0x10000, 0x10000)
+        return probes, removed
+
+    probes, removed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert probes == 64
+    assert removed == 64 * 0x200
+
+
+def test_word_only_entries_stay_small(benchmark):
+    """Word-aligned traffic must never trigger expansion (the word
+    detector's indexing saving)."""
+
+    def run():
+        t = ShadowTable(m=128)
+        for a in range(0, 1 << 16, 4):
+            t.set(a, a)
+        return t.slot_count
+
+    slots = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert slots == (1 << 16) // 128 * 32

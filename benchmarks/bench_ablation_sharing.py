@@ -1,0 +1,60 @@
+"""Ablation: the sharing heuristic's design choices beyond Table 5.
+
+* neighbour scan limit (how far first-epoch sharing may look);
+* §VII future work: write-guided read sharing;
+* §VII future work: re-sharing after the second epoch.
+"""
+
+import pytest
+
+from conftest import trace_for
+from repro.detectors.registry import create_detector
+from repro.runtime.vm import replay
+
+WORKLOADS = ("facesim", "pbzip2", "canneal")
+
+
+@pytest.mark.parametrize("limit", [1, 8, 16, 64])
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_neighbor_scan_limit(benchmark, workload, limit):
+    """Scan-limit sweep: sequential-init workloads tolerate tiny limits
+    (adjacent byte hits immediately); padding-gapped structures need a
+    few bytes of reach; canneal pays for fruitless scans."""
+    trace = trace_for(workload)
+
+    def run():
+        return replay(
+            trace, create_detector("dynamic", neighbor_scan_limit=limit)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats["max_vectors"] > 0
+
+
+@pytest.mark.parametrize("guided", [False, True])
+def test_write_guided_read_sharing(benchmark, guided):
+    """§VII: gate read-side sharing on the write clock's state."""
+    trace = trace_for("facesim")
+
+    def run():
+        return replay(
+            trace, create_detector("dynamic", guide_reads_by_writes=guided)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.race_count == 0
+
+
+@pytest.mark.parametrize("interval", [0, 1])
+def test_resharing_interval(benchmark, interval):
+    """§VII: re-deciding Private groups after the second epoch lets
+    granularity keep adapting (fewer clocks) at extra decision cost."""
+    trace = trace_for("fluidanimate")
+
+    def run():
+        return replay(
+            trace, create_detector("dynamic", resharing_interval=interval)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats["max_vectors"] > 0

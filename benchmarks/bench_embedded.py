@@ -1,0 +1,70 @@
+"""Embedded firmware scenarios — the paper's motivating domain.
+
+Audits the three firmware-shaped scenarios with the granularity family
+and checks the claims the paper's introduction stakes on embedded
+code: byte-level precision matters for packed/sub-word data, and the
+dynamic detector delivers it at a fraction of the clock population.
+"""
+
+import pytest
+
+from repro.detectors.registry import create_detector
+from repro.runtime.vm import replay
+from repro.workloads.embedded import embedded_scenarios, get_scenario
+
+_scenario_traces = {}
+
+
+def _trace(name):
+    if name not in _scenario_traces:
+        _scenario_traces[name] = get_scenario(name).trace(scale=1.0, seed=1)
+    return _scenario_traces[name]
+
+
+@pytest.mark.parametrize(
+    "detector", ("fasttrack-byte", "fasttrack-word", "fasttrack-dynamic")
+)
+@pytest.mark.parametrize("scenario", sorted(embedded_scenarios()))
+def test_firmware_audit(benchmark, scenario, detector):
+    trace = _trace(scenario)
+
+    def run():
+        return replay(trace, create_detector(detector))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.events == len(trace)
+
+
+def test_print_firmware_summary(benchmark, capsys):
+    def build():
+        rows = []
+        for name in sorted(embedded_scenarios()):
+            trace = _trace(name)
+            byte = replay(trace, create_detector("fasttrack-byte"))
+            dyn = replay(trace, create_detector("dynamic"))
+            rows.append(
+                {
+                    "scenario": name,
+                    "races_byte": byte.race_count,
+                    "races_dynamic": dyn.race_count,
+                    "clocks_byte": byte.stats["max_vectors"],
+                    "clocks_dynamic": dyn.stats["max_vectors"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nEmbedded firmware audit:")
+        for r in rows:
+            print(
+                f"  {r['scenario']:14s} races {r['races_byte']}/"
+                f"{r['races_dynamic']} (byte/dynamic)  clocks "
+                f"{r['clocks_byte']}/{r['clocks_dynamic']}"
+            )
+    for r in rows:
+        # every firmware bug found, at byte precision, with far fewer
+        # clocks under dynamic granularity
+        assert r["races_byte"] > 0
+        assert r["races_byte"] == r["races_dynamic"]
+        assert r["clocks_dynamic"] < r["clocks_byte"]

@@ -1,0 +1,87 @@
+"""Instrumentation filters (paper §VI): Aikido + demand-driven.
+
+The paper calls Aikido's shared-data filtering "complementary to
+dynamic granularity": one removes the cost of *never-shared* accesses,
+the other the cost of *shared-but-clustered* accesses.  This bench
+stacks them and checks the composition claim.
+"""
+
+import pytest
+
+from conftest import trace_for
+from repro.core.detector import DynamicGranularityDetector
+from repro.detectors.fasttrack import FastTrackDetector
+from repro.detectors.filters import AikidoFilter, DemandDrivenFilter
+from repro.runtime.vm import replay
+
+WORKLOADS = ("hmmsearch", "x264", "pbzip2")
+
+
+@pytest.mark.parametrize(
+    "setup",
+    ["fasttrack", "aikido+fasttrack", "aikido+dynamic", "demand+fasttrack"],
+)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_filter_stacks(benchmark, workload, setup):
+    trace = trace_for(workload)
+
+    def make():
+        if setup == "fasttrack":
+            return FastTrackDetector()
+        if setup == "aikido+fasttrack":
+            return AikidoFilter(inner=FastTrackDetector())
+        if setup == "aikido+dynamic":
+            return AikidoFilter(inner=DynamicGranularityDetector())
+        return DemandDrivenFilter(inner=FastTrackDetector())
+
+    def run():
+        return replay(trace, make())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.events == len(trace)
+
+
+def test_print_filter_study(benchmark, capsys):
+    def build():
+        rows = []
+        for workload in WORKLOADS:
+            trace = trace_for(workload)
+            baseline = replay(trace, FastTrackDetector())
+            base_addrs = {r.addr for r in baseline.races}
+            for label, det in (
+                ("fasttrack", FastTrackDetector()),
+                ("aikido+ft", AikidoFilter(inner=FastTrackDetector())),
+                ("aikido+dyn", AikidoFilter(inner=DynamicGranularityDetector())),
+                ("demand+ft", DemandDrivenFilter(inner=FastTrackDetector())),
+            ):
+                res = replay(trace, det)
+                rows.append(
+                    {
+                        "workload": workload,
+                        "setup": label,
+                        "time_ms": round(res.wall_time * 1000, 1),
+                        "filter_rate": round(
+                            res.stats.get("filter_rate", 0.0), 2
+                        ),
+                        "races": res.race_count,
+                        "baseline_races": len(base_addrs),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nInstrumentation filters:")
+        for r in rows:
+            print(
+                f"  {r['workload']:10s} {r['setup']:11s} "
+                f"{r['time_ms']:7.1f} ms  filtered {r['filter_rate']:.0%}"
+                f"  races {r['races']}"
+            )
+    # Aikido must never lose a race FastTrack finds (owner attribution).
+    by = {(r["workload"], r["setup"]): r for r in rows}
+    for workload in WORKLOADS:
+        assert (
+            by[(workload, "aikido+ft")]["races"] > 0
+            or by[(workload, "fasttrack")]["races"] == 0
+        )

@@ -1,0 +1,95 @@
+"""Sampling detectors (paper §VI): detection rate vs overhead.
+
+LiteRace and PACER trade missed races for lower overhead — "reasonable
+detection rate with minimal overhead, but may miss critical data
+races".  This bench sweeps PACER's sampling rate and LiteRace's floor
+and reports recall against full FastTrack on the same traces, the
+experiment their original papers plot.
+"""
+
+import pytest
+
+from conftest import trace_for
+from repro.detectors.fasttrack import FastTrackDetector
+from repro.detectors.registry import create_detector
+from repro.detectors.sampling import LiteRaceDetector, PacerDetector
+from repro.runtime.vm import replay
+
+RACY_WORKLOADS = ("x264", "canneal", "streamcluster")
+
+
+def _full_race_addrs(workload):
+    trace = trace_for(workload)
+    return {r.addr for r in replay(trace, FastTrackDetector()).races}
+
+
+@pytest.mark.parametrize("rate", [0.05, 0.25, 1.0])
+@pytest.mark.parametrize("workload", RACY_WORKLOADS)
+def test_pacer_rate_sweep(benchmark, workload, rate):
+    trace = trace_for(workload)
+    full = _full_race_addrs(workload)
+
+    def run():
+        return replay(trace, PacerDetector(rate=rate))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    got = {r.addr for r in result.races}
+    recall = len(got & full) / len(full) if full else 1.0
+    # Full-rate PACER is exactly FastTrack; sampled runs only miss.
+    if rate == 1.0:
+        assert recall == 1.0
+    assert got <= full or not full
+
+
+@pytest.mark.parametrize("floor", [0.01, 0.25])
+@pytest.mark.parametrize("workload", RACY_WORKLOADS)
+def test_literace_floor_sweep(benchmark, workload, floor):
+    trace = trace_for(workload)
+
+    def run():
+        return replay(trace, LiteRaceDetector(floor_rate=floor))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats["effective_rate"] <= 1.0
+
+
+def test_print_sampling_tradeoff(benchmark, capsys):
+    """The recall/overhead table across the racy workloads."""
+
+    def build():
+        rows = []
+        for workload in RACY_WORKLOADS:
+            trace = trace_for(workload)
+            full_res = replay(trace, FastTrackDetector())
+            full = {r.addr for r in full_res.races}
+            for name, det in (
+                ("fasttrack", FastTrackDetector()),
+                ("pacer-25%", PacerDetector(rate=0.25)),
+                ("pacer-5%", PacerDetector(rate=0.05)),
+                ("literace", LiteRaceDetector()),
+                ("multirace", create_detector("multirace")),
+            ):
+                res = replay(trace, det)
+                got = {r.addr for r in res.races}
+                rows.append(
+                    {
+                        "workload": workload,
+                        "detector": name,
+                        "time_ms": round(res.wall_time * 1000, 1),
+                        "recall_pct": round(
+                            100 * len(got & full) / len(full) if full else 100
+                        ),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nSampling trade-off (recall vs full FastTrack):")
+        for r in rows:
+            print(
+                f"  {r['workload']:14s} {r['detector']:10s} "
+                f"{r['time_ms']:7.1f} ms  recall {r['recall_pct']:3d}%"
+            )
+    # Shape: sampled detectors are never more complete than full FT.
+    assert all(r["recall_pct"] <= 100 for r in rows)

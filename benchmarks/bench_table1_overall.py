@@ -1,0 +1,56 @@
+"""Table 1 — overall results.
+
+Benchmarks the three granularities (byte / word / dynamic FastTrack) on
+every workload, then prints the regenerated table: slowdown, memory
+overhead and detected races per benchmark.
+
+Paper shape to verify: dynamic is ~1.4x faster than byte and uses ~60%
+less memory; race counts agree across granularities except where word
+masking merges neighbouring byte races (x264) and group sharing adds
+group-mates.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, BENCH_SEED, trace_for
+from repro.analysis.tables import format_table, table1
+from repro.detectors.registry import create_detector
+from repro.runtime.vm import replay
+from repro.workloads.base import default_suppression
+
+DETECTORS = ("fasttrack-byte", "fasttrack-word", "fasttrack-dynamic")
+
+
+@pytest.mark.parametrize("detector", DETECTORS)
+def test_granularity_replay(benchmark, workload_name, detector):
+    """Replay cost of one detector on one workload (Table 1 slowdown
+    columns; ratios to the bare replay are printed by the table)."""
+    trace = trace_for(workload_name)
+
+    def run():
+        det = create_detector(detector, suppress=default_suppression)
+        return replay(trace, det)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.events == len(trace)
+
+
+def test_print_table1(benchmark, capsys):
+    """Regenerate and print the full Table 1."""
+    rows = benchmark.pedantic(
+        table1,
+        kwargs=dict(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table 1: overall results"))
+    # Headline shape: dynamic at least matches byte-granularity speed
+    # and uses less memory, on average.
+    avg_b = sum(r["slowdown_byte"] for r in rows) / len(rows)
+    avg_d = sum(r["slowdown_dynamic"] for r in rows) / len(rows)
+    assert avg_d < avg_b
+    avg_mb = sum(r["mem_overhead_byte"] for r in rows) / len(rows)
+    avg_md = sum(r["mem_overhead_dynamic"] for r in rows) / len(rows)
+    assert avg_md < avg_mb

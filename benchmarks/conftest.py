@@ -1,0 +1,33 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench replays pre-scheduled traces, so pytest-benchmark timings
+measure detection work only (scheduling is excluded).  ``BENCH_SCALE``
+trades fidelity for wall time; 0.5 keeps the full suite around a
+minute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.registry import get_workload, workload_names
+
+BENCH_SCALE = 0.5
+BENCH_SEED = 1
+
+_trace_cache = {}
+
+
+def trace_for(workload: str):
+    """Schedule each workload once per session and reuse the trace."""
+    key = (workload, BENCH_SCALE, BENCH_SEED)
+    if key not in _trace_cache:
+        _trace_cache[key] = get_workload(workload).trace(
+            scale=BENCH_SCALE, seed=BENCH_SEED
+        )
+    return _trace_cache[key]
+
+
+@pytest.fixture(params=workload_names())
+def workload_name(request):
+    return request.param

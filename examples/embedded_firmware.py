@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Auditing embedded firmware scenarios — the paper's motivating domain.
+
+The paper opens with embedded C/C++ applications: multiple threads
+handling concurrent events, synchronization easy to misuse, and data
+protected at byte/word granularity (packed structs, status registers).
+This example audits three firmware-shaped scenarios and shows why the
+*dynamic* granularity choice matters there:
+
+* packed 12-byte sensor records — a word detector would mask their
+  2-byte axis fields together;
+* a lock-free status byte in a packet router — invisible below word
+  granularity, precise at byte granularity;
+* per-task scratch buffers — page-private data that costs a byte
+  detector dearly and a dynamic detector almost nothing.
+
+Run:  python examples/embedded_firmware.py
+"""
+
+from repro.analysis.report import format_races
+from repro.analysis.tracestats import compute_stats
+from repro.detectors.registry import create_detector
+from repro.runtime.vm import replay
+from repro.workloads.embedded import embedded_scenarios
+
+
+def main():
+    for name, scenario in sorted(embedded_scenarios().items()):
+        trace = scenario.trace(scale=1.0, seed=1)
+        stats = compute_stats(trace)
+        print(f"=== {name}: {scenario.description}")
+        print(
+            f"    {len(trace)} events, {trace.n_threads} threads, "
+            f"locality {stats.spatial_locality:.0%}, "
+            f"{stats.accesses_per_epoch:.0f} accesses/epoch"
+        )
+
+        byte_res = replay(trace, create_detector("fasttrack-byte"))
+        word_res = replay(trace, create_detector("fasttrack-word"))
+        dyn_res = replay(trace, create_detector("dynamic"))
+
+        print(
+            f"    byte: {byte_res.race_count} race(s), "
+            f"{byte_res.stats['max_vectors']} clocks | "
+            f"word: {word_res.race_count} race(s) | "
+            f"dynamic: {dyn_res.race_count} race(s), "
+            f"{dyn_res.stats['max_vectors']} clocks"
+        )
+        print("    " + format_races(dyn_res.races, limit=2).replace(
+            "\n", "\n    "
+        ))
+        # Byte and dynamic agree on the racy bytes; the seeded bug is
+        # found in every scenario.
+        assert {r.addr for r in byte_res.races} == {
+            r.addr for r in dyn_res.races
+        }
+        assert dyn_res.race_count > 0
+        print()
+
+    # The packet router's status byte shows why byte precision matters:
+    # the word detector reports the same flag, but had the flag shared
+    # a word with a header field, byte/dynamic would separate them
+    # while word would conflate them (see the x264 discussion in
+    # EXPERIMENTS.md).
+    print("OK: every firmware bug found; byte == dynamic precision")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Granularity study: how the detection unit affects cost and precision.
+
+Replays three contrasting workloads through byte, word and dynamic
+granularity FastTrack and prints a compact comparison — a miniature of
+the paper's Table 1 showing *why* each workload behaves the way it
+does:
+
+* pbzip2  — whole heap blocks live for one epoch: dynamic shares one
+  clock across a kilobyte and wins on both time and memory;
+* canneal — random pointer-chasing: nothing neighbours anything, all
+  three granularities cost about the same;
+* x264    — racy byte flags: word granularity *masks* neighbouring
+  races together (fewer reports), dynamic keeps byte precision.
+
+Run:  python examples/granularity_study.py
+"""
+
+from repro.analysis.metrics import measure
+from repro.workloads.registry import get_workload
+
+WORKLOADS = ("pbzip2", "canneal", "x264")
+DETECTORS = ("fasttrack-byte", "fasttrack-word", "fasttrack-dynamic")
+
+
+def main():
+    header = (
+        f"{'workload':12s} {'detector':18s} {'slowdown':>9s} "
+        f"{'mem ovh':>8s} {'races':>6s} {'same-ep%':>9s} {'clocks':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = {}
+    for wname in WORKLOADS:
+        trace = get_workload(wname).trace(scale=1.0, seed=1)
+        for dname in DETECTORS:
+            m = measure(trace, dname)
+            rows[(wname, dname)] = m
+            print(
+                f"{wname:12s} {dname:18s} {m.slowdown:9.2f} "
+                f"{m.memory_overhead:8.2f} {m.races:6d} "
+                f"{(m.same_epoch_pct or 0):9.1f} {m.max_vectors or 0:8d}"
+            )
+        print()
+
+    # The three lessons, as assertions:
+    pb = rows[("pbzip2", "fasttrack-dynamic")]
+    pbb = rows[("pbzip2", "fasttrack-byte")]
+    assert pb.max_vectors < pbb.max_vectors / 50, "pbzip2: massive sharing"
+    cn = rows[("canneal", "fasttrack-dynamic")]
+    cnb = rows[("canneal", "fasttrack-byte")]
+    assert abs(cn.slowdown - cnb.slowdown) / cnb.slowdown < 0.5, (
+        "canneal: no dynamic speedup to be had"
+    )
+    xw = rows[("x264", "fasttrack-word")]
+    xb = rows[("x264", "fasttrack-byte")]
+    xd = rows[("x264", "fasttrack-dynamic")]
+    assert xw.races < xb.races, "x264: word masking merges byte races"
+    assert xd.races >= xb.races * 0.9, "x264: dynamic keeps byte precision"
+    print("OK: pbzip2 shares clocks, canneal is immune, word masks x264")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Debugging a producer/consumer pipeline with different detectors.
+
+A compression pipeline (pbzip2-style) hands heap blocks from a producer
+to workers through a semaphore-guarded queue.  A subtle bug is built
+in: the *per-file checksum* is updated by every worker without the
+queue lock.  We run four detectors over the identical interleaving and
+compare what each reports — including LockSet's extra false alarm and
+the hybrid's instruction-pair triage.
+
+Run:  python examples/pipeline_debugging.py
+"""
+
+from collections import deque
+
+from repro import Program, Scheduler, create_detector, ops, replay
+from repro.analysis.report import format_races, group_by_site_pair
+
+BLOCK = 512
+N_BLOCKS = 8
+CHECKSUM = 0x9000
+QLOCK = 1
+QITEMS = 2
+
+queue = deque()
+
+
+def producer():
+    for i in range(N_BLOCKS):
+        block = yield ops.alloc(BLOCK, site=10)
+        for off in range(0, BLOCK, 8):
+            yield ops.write(block + off, 8, site=11)
+        yield ops.acquire(QLOCK)
+        queue.append(block)
+        yield ops.release(QLOCK)
+        yield ops.sem_v(QITEMS)
+
+
+def worker():
+    for _ in range(N_BLOCKS // 2):
+        yield ops.sem_p(QITEMS)
+        yield ops.acquire(QLOCK)
+        block = queue.popleft()
+        yield ops.release(QLOCK)
+        for off in range(0, BLOCK, 8):
+            yield ops.read(block + off, 8, site=20)
+        # BUG: checksum update without holding the queue lock.
+        yield ops.read(CHECKSUM, 8, site=30)
+        yield ops.write(CHECKSUM, 8, site=31)
+        yield ops.free(block, BLOCK, site=21)
+
+
+def main():
+    program = Program.from_threads(
+        [producer, worker, worker], name="pipeline"
+    )
+    trace = Scheduler(seed=3).run(program)
+    print(f"trace: {len(trace)} events, {trace.n_threads} threads, "
+          f"{trace.heap_stats['alloc_count']} heap blocks\n")
+
+    for name in ("fasttrack-byte", "dynamic", "drd", "eraser", "inspector"):
+        result = replay(trace, create_detector(name))
+        print(f"--- {name} ({result.wall_time * 1000:.1f} ms)")
+        print(format_races(result.races, limit=3))
+        if name == "inspector":
+            pairs = group_by_site_pair(result.races)
+            print(f"    triaged into {len(pairs)} site-pair group(s): "
+                  f"{sorted(pairs)}")
+        print()
+
+    # The happens-before detectors all agree on the checksum bytes.
+    ft = replay(trace, create_detector("fasttrack-byte"))
+    dyn = replay(trace, create_detector("dynamic"))
+    assert {r.addr for r in ft.races} == {r.addr for r in dyn.races}
+    assert all(CHECKSUM <= r.addr < CHECKSUM + 8 for r in dyn.races)
+    print("OK: byte and dynamic FastTrack agree; only the checksum races")
+
+
+if __name__ == "__main__":
+    main()

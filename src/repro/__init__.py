@@ -1,0 +1,67 @@
+"""repro: dynamic-granularity data race detection.
+
+A from-scratch reproduction of *"Efficient Data Race Detection for
+C/C++ Programs Using Dynamic Granularity"* (Song & Lee, IPDPS 2014):
+vector-clock race detectors (DJIT+, FastTrack, LockSet, segment-based
+and hybrid baselines) over a deterministic threaded-program VM, plus the
+paper's contribution -- a FastTrack detector whose detection granularity
+adapts by sharing vector clocks between neighbouring shadow locations.
+
+Quickstart::
+
+    from repro import Program, ops, create_detector, run_program
+
+    def writer():
+        yield ops.write(0x1000, 4)          # unprotected shared write
+
+    program = Program.from_threads([writer, writer], name="racy")
+    result = run_program(program, create_detector("dynamic"))
+    for race in result.races:
+        print(race)
+"""
+
+from repro.core import DynamicConfig, DynamicGranularityDetector
+from repro.detectors import (
+    DjitPlusDetector,
+    EraserDetector,
+    FastTrackDetector,
+    HybridDetector,
+    RaceReport,
+    SegmentDetector,
+    available_detectors,
+    create_detector,
+)
+from repro.runtime import (
+    Program,
+    ReplayResult,
+    Scheduler,
+    Trace,
+    bare_replay,
+    ops,
+    replay,
+    run_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicGranularityDetector",
+    "DynamicConfig",
+    "FastTrackDetector",
+    "DjitPlusDetector",
+    "EraserDetector",
+    "SegmentDetector",
+    "HybridDetector",
+    "RaceReport",
+    "create_detector",
+    "available_detectors",
+    "Program",
+    "ops",
+    "Scheduler",
+    "Trace",
+    "replay",
+    "bare_replay",
+    "run_program",
+    "ReplayResult",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Analysis & reproduction harness.
+
+* :mod:`repro.analysis.metrics` — run (workload, detector) pairs and
+  collect the paper's measures: slowdown, modeled memory overhead,
+  same-epoch percentage, vector-clock counts, race counts.
+* :mod:`repro.analysis.tables` — regenerate Tables 1-6 from those runs.
+* :mod:`repro.analysis.report` — human-readable race reports with the
+  paper's library-suppression rules.
+"""
+
+from repro.analysis.compare import Comparison, compare_detectors, format_comparison
+from repro.analysis.fuzz import FuzzResult, format_fuzz_result, fuzz_schedules
+from repro.analysis.hbgraph import build_hb_graph, concurrent_access_pairs, racy_bytes
+from repro.analysis.metrics import Measurement, measure, measure_many
+from repro.analysis.report import format_races, summarize_races
+from repro.analysis.suppressions import SuppressionSet, default_suppression_set
+from repro.analysis.tracestats import TraceStats, compute_stats, format_stats
+from repro.analysis.tables import (
+    format_table,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+__all__ = [
+    "Comparison",
+    "compare_detectors",
+    "format_comparison",
+    "SuppressionSet",
+    "default_suppression_set",
+    "FuzzResult",
+    "fuzz_schedules",
+    "format_fuzz_result",
+    "build_hb_graph",
+    "concurrent_access_pairs",
+    "racy_bytes",
+    "TraceStats",
+    "compute_stats",
+    "format_stats",
+    "Measurement",
+    "measure",
+    "measure_many",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "format_table",
+    "format_races",
+    "summarize_races",
+]

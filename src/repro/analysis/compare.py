@@ -1,0 +1,123 @@
+"""Detector-agreement analysis.
+
+The paper's Table 6 discussion is essentially a pairwise agreement
+study: which tools found which races, who added library noise, who
+deduplicated differently.  This module runs any set of detectors over
+one trace and produces the agreement matrix plus per-address
+attribution — the triage view a developer wants when two tools
+disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.detectors.registry import create_detector
+from repro.runtime.trace import Trace
+from repro.runtime.vm import replay
+from repro.workloads.base import default_suppression
+
+
+@dataclass
+class Comparison:
+    """Outcome of running several detectors over one trace."""
+
+    trace_name: str
+    #: detector -> racy byte addresses it reported
+    addresses: Dict[str, FrozenSet[int]]
+    #: detector -> raw race count (before address dedup)
+    counts: Dict[str, int]
+    #: detector -> wall time
+    times: Dict[str, float]
+
+    # ------------------------------------------------------------------
+    @property
+    def consensus(self) -> FrozenSet[int]:
+        """Addresses every detector agrees are racy."""
+        sets = list(self.addresses.values())
+        if not sets:
+            return frozenset()
+        out = set(sets[0])
+        for s in sets[1:]:
+            out &= s
+        return frozenset(out)
+
+    @property
+    def union(self) -> FrozenSet[int]:
+        out = set()
+        for s in self.addresses.values():
+            out |= s
+        return frozenset(out)
+
+    def only_found_by(self, detector: str) -> FrozenSet[int]:
+        """Addresses reported by ``detector`` and nobody else."""
+        mine = set(self.addresses[detector])
+        for name, s in self.addresses.items():
+            if name != detector:
+                mine -= s
+        return frozenset(mine)
+
+    def agreement_matrix(self) -> Dict[Tuple[str, str], float]:
+        """Pairwise Jaccard agreement of racy-address sets."""
+        names = sorted(self.addresses)
+        out = {}
+        for a in names:
+            for b in names:
+                sa, sb = self.addresses[a], self.addresses[b]
+                union = sa | sb
+                out[(a, b)] = (
+                    len(sa & sb) / len(union) if union else 1.0
+                )
+        return out
+
+
+def compare_detectors(
+    trace: Trace,
+    detectors: Sequence[str],
+    suppress_libraries: bool = True,
+    detector_kwargs: Optional[Dict[str, dict]] = None,
+) -> Comparison:
+    """Replay ``trace`` through every named detector."""
+    suppress = default_suppression if suppress_libraries else None
+    kwargs = detector_kwargs or {}
+    addresses: Dict[str, FrozenSet[int]] = {}
+    counts: Dict[str, int] = {}
+    times: Dict[str, float] = {}
+    for name in detectors:
+        det = create_detector(name, suppress=suppress, **kwargs.get(name, {}))
+        result = replay(trace, det)
+        addresses[name] = frozenset(r.addr for r in result.races)
+        counts[name] = result.race_count
+        times[name] = result.wall_time
+    return Comparison(
+        trace_name=trace.name,
+        addresses=addresses,
+        counts=counts,
+        times=times,
+    )
+
+
+def format_comparison(cmp: Comparison) -> str:
+    """Render the agreement study as text."""
+    names = sorted(cmp.addresses)
+    lines = [f"detector agreement on {cmp.trace_name}:"]
+    for name in names:
+        extra = len(cmp.only_found_by(name))
+        lines.append(
+            f"  {name:18s} {cmp.counts[name]:5d} report(s), "
+            f"{len(cmp.addresses[name]):5d} racy byte(s), "
+            f"{extra:4d} unique, {cmp.times[name] * 1000:7.1f} ms"
+        )
+    lines.append(
+        f"  consensus: {len(cmp.consensus)} byte(s); "
+        f"union: {len(cmp.union)} byte(s)"
+    )
+    matrix = cmp.agreement_matrix()
+    lines.append("  pairwise Jaccard agreement:")
+    header = "             " + " ".join(f"{n[:10]:>10s}" for n in names)
+    lines.append(header)
+    for a in names:
+        row = " ".join(f"{matrix[(a, b)]:10.2f}" for b in names)
+        lines.append(f"  {a[:11]:11s} {row}")
+    return "\n".join(lines)

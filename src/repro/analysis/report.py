@@ -1,0 +1,65 @@
+"""Race-report formatting.
+
+The paper's tool prints, per race: the racing access (thread, site),
+the previous conflicting access, and the memory address — enough for a
+developer to locate both sides.  This module renders that and provides
+the site-pair grouping the commercial tools use for triage.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Sequence, Tuple
+
+from repro.detectors.base import RaceReport
+from repro.workloads.base import LIBRARY_SITE_BASE
+
+
+def format_races(races: Sequence[RaceReport], limit: int = 20) -> str:
+    """A human-readable listing (first ``limit`` races)."""
+    if not races:
+        return "no data races detected"
+    lines = [f"{len(races)} data race(s) detected:"]
+    for race in list(races)[:limit]:
+        lines.append(f"  {race}")
+        if race.unit > 1:
+            lines.append(
+                f"    (location shares a vector clock with "
+                f"{race.unit - 1} neighbouring byte(s))"
+            )
+    if len(races) > limit:
+        lines.append(f"  ... and {len(races) - limit} more")
+    return "\n".join(lines)
+
+
+def group_by_site_pair(
+    races: Sequence[RaceReport],
+) -> "OrderedDict[Tuple[str, int, int], List[RaceReport]]":
+    """Group races the way Inspector-style tools triage them: one
+    bucket per (kind, site pair)."""
+    groups: "OrderedDict[Tuple[str, int, int], List[RaceReport]]" = OrderedDict()
+    for race in races:
+        key = (
+            race.kind,
+            min(race.site, race.prev_site),
+            max(race.site, race.prev_site),
+        )
+        groups.setdefault(key, []).append(race)
+    return groups
+
+
+def summarize_races(races: Sequence[RaceReport]) -> Dict[str, object]:
+    """Aggregate counts for the analysis tables."""
+    groups = group_by_site_pair(races)
+    return {
+        "total": len(races),
+        "distinct_addresses": len({r.addr for r in races}),
+        "distinct_site_pairs": len(groups),
+        "by_kind": {
+            kind: sum(1 for r in races if r.kind == kind)
+            for kind in sorted({r.kind for r in races})
+        },
+        "library_races": sum(
+            1 for r in races if r.site >= LIBRARY_SITE_BASE
+        ),
+    }

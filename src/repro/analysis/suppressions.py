@@ -1,0 +1,172 @@
+"""Suppression rules (paper §V-C).
+
+The paper's case study applies "similar suppression rules as in DRD,
+e.g., suppressed data races detected from libc and ld".  Valgrind
+expresses those as suppression files; this module gives our detectors
+the same mechanism over *site* ids (our instruction-pointer
+surrogates).
+
+File format — one rule per line, ``#`` comments::
+
+    # name        kind          sites
+    libc-internal  *            1000000-1999999
+    known-benign   write-write  411
+    stats-block    *            410,411,420-423
+
+A rule matches a race when its kind matches (``*`` for any) and the
+race's site *or* previous site falls in one of the ranges.  Rules
+compile to a single predicate compatible with every detector's
+``suppress=`` hook, and matches are counted per rule so unused (stale)
+suppressions can be reported — the hygiene feature real suppression
+files sorely need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detectors.base import RaceReport
+
+
+class SuppressionError(ValueError):
+    """Raised on malformed suppression rules."""
+
+
+@dataclass
+class Rule:
+    """One compiled suppression rule."""
+
+    name: str
+    kind: str                      # race kind or "*"
+    ranges: List[Tuple[int, int]]  # inclusive site ranges
+    matches: int = 0
+
+    def matches_site(self, site: int) -> bool:
+        return any(lo <= site <= hi for lo, hi in self.ranges)
+
+    def matches_race(self, race: RaceReport) -> bool:
+        if self.kind != "*" and self.kind != race.kind:
+            return False
+        return self.matches_site(race.site) or self.matches_site(
+            race.prev_site
+        )
+
+
+def _parse_ranges(spec: str, name: str) -> List[Tuple[int, int]]:
+    ranges: List[Tuple[int, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            lo_s, hi_s = part.split("-", 1)
+            try:
+                lo, hi = int(lo_s), int(hi_s)
+            except ValueError:
+                raise SuppressionError(
+                    f"rule {name!r}: bad range {part!r}"
+                ) from None
+            if hi < lo:
+                raise SuppressionError(
+                    f"rule {name!r}: empty range {part!r}"
+                )
+        else:
+            try:
+                lo = hi = int(part)
+            except ValueError:
+                raise SuppressionError(
+                    f"rule {name!r}: bad site {part!r}"
+                ) from None
+        ranges.append((lo, hi))
+    if not ranges:
+        raise SuppressionError(f"rule {name!r}: no site ranges")
+    return ranges
+
+
+def parse_rules(text: str) -> List[Rule]:
+    """Parse suppression-file text into rules."""
+    rules: List[Rule] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise SuppressionError(
+                f"line {lineno}: expected 'name kind sites', got {raw!r}"
+            )
+        name, kind, spec = parts
+        rules.append(Rule(name, kind, _parse_ranges(spec, name)))
+    return rules
+
+
+class SuppressionSet:
+    """Compiled rules + match accounting."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = list(rules)
+
+    @classmethod
+    def from_text(cls, text: str) -> "SuppressionSet":
+        return cls(parse_rules(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "SuppressionSet":
+        with open(path) as fh:
+            return cls.from_text(fh.read())
+
+    # ------------------------------------------------------------------
+    def site_predicate(self, kind: str = "*"):
+        """A ``suppress=`` callable for detector constructors.
+
+        Detectors consult suppression at report time with only the
+        current site, so the predicate matches any rule covering that
+        site (kind-filtered when the caller knows it).
+        """
+        def predicate(site: int) -> bool:
+            for rule in self.rules:
+                if kind != "*" and rule.kind not in ("*", kind):
+                    continue
+                if rule.matches_site(site):
+                    rule.matches += 1
+                    return True
+            return False
+
+        return predicate
+
+    def filter_races(
+        self, races: Sequence[RaceReport]
+    ) -> Tuple[List[RaceReport], List[RaceReport]]:
+        """Post-hoc filtering: (kept, suppressed) with full race-kind
+        and both-sides site matching."""
+        kept: List[RaceReport] = []
+        suppressed: List[RaceReport] = []
+        for race in races:
+            for rule in self.rules:
+                if rule.matches_race(race):
+                    rule.matches += 1
+                    suppressed.append(race)
+                    break
+            else:
+                kept.append(race)
+        return kept, suppressed
+
+    def unused_rules(self) -> List[str]:
+        """Names of rules that never matched (stale suppressions)."""
+        return [r.name for r in self.rules if r.matches == 0]
+
+    def summary(self) -> Dict[str, int]:
+        return {r.name: r.matches for r in self.rules}
+
+
+#: the built-in rule equivalent to repro.workloads.base.default_suppression
+DEFAULT_LIBRARY_RULES = """
+# modeled system libraries (libc / ld / libpthread internals)
+system-libraries * 1000000-9999999
+"""
+
+
+def default_suppression_set() -> SuppressionSet:
+    """The paper's libc/ld rule as a SuppressionSet."""
+    return SuppressionSet.from_text(DEFAULT_LIBRARY_RULES)

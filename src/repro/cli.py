@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+::
+
+    repro-race list
+    repro-race run --workload pbzip2 --detector dynamic [--scale 1.0]
+    repro-race table 1 [--scale 0.5] [--workloads ferret,pbzip2]
+    repro-race fuzz --workload ffmpeg --trials 50
+    repro-race stats --workload pbzip2
+    repro-race hbgraph trace.npz -o hb.dot
+    repro-race compare -w x264 -d fasttrack-byte,dynamic,drd
+    repro-race replay trace.npz --detector fasttrack-byte
+    repro-race record --workload ferret --out trace.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import tables as tables_mod
+from repro.analysis.metrics import measure
+from repro.analysis.report import format_races, summarize_races
+from repro.analysis.tables import format_table
+from repro.detectors.registry import available_detectors, create_detector
+from repro.runtime.trace import Trace
+from repro.runtime.vm import bare_replay, replay
+from repro.workloads.base import default_suppression
+from repro.workloads.embedded import embedded_scenarios, get_scenario
+from repro.workloads.registry import get_workload, workload_names
+
+
+def _all_runnable():
+    "Benchmarks plus embedded scenarios (tables use benchmarks only)."
+    return workload_names() + sorted(embedded_scenarios())
+
+
+def _resolve(name: str):
+    "Look a name up in either catalogue."
+    if name in embedded_scenarios():
+        return get_scenario(name)
+    return get_workload(name)
+
+TABLES = {
+    "1": (tables_mod.table1, "Overall results (slowdown / memory / races)"),
+    "2": (tables_mod.table2, "Memory overhead breakdown (hash / VC / bitmap)"),
+    "3": (tables_mod.table3, "Maximum number of vector clocks"),
+    "4": (tables_mod.table4, "Same-epoch access percentages"),
+    "5": (tables_mod.table5, "State-machine configurations (ablation)"),
+    "6": (tables_mod.table6, "Comparison with DRD / Inspector stand-ins"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-race",
+        description="Dynamic-granularity data race detection "
+        "(IPDPS 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and detectors")
+
+    run = sub.add_parser("run", help="run a detector on a workload")
+    run.add_argument("--workload", "-w", required=True, choices=_all_runnable())
+    run.add_argument(
+        "--detector", "-d", default="dynamic", choices=available_detectors()
+    )
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="report races from modeled system libraries too",
+    )
+    run.add_argument("--max-races", type=int, default=20)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=sorted(TABLES))
+    table.add_argument("--scale", type=float, default=1.0)
+    table.add_argument("--seed", type=int, default=0)
+    table.add_argument(
+        "--workloads",
+        help="comma-separated subset (default: all 11 benchmarks)",
+    )
+
+    record = sub.add_parser("record", help="schedule a workload to a trace file")
+    record.add_argument("--workload", "-w", required=True, choices=_all_runnable())
+    record.add_argument("--scale", type=float, default=1.0)
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--out", "-o", required=True)
+
+    stats = sub.add_parser(
+        "stats", help="access-pattern statistics of a workload trace"
+    )
+    stats.add_argument("--workload", "-w", required=True, choices=_all_runnable())
+    stats.add_argument("--scale", type=float, default=1.0)
+    stats.add_argument("--seed", type=int, default=0)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="explore schedules: how often do races manifest?"
+    )
+    fuzz.add_argument("--workload", "-w", required=True, choices=_all_runnable())
+    fuzz.add_argument(
+        "--detector", "-d", default="fasttrack-byte",
+        choices=available_detectors(),
+    )
+    fuzz.add_argument("--trials", type=int, default=30)
+    fuzz.add_argument("--scale", type=float, default=0.3)
+
+    comp = sub.add_parser(
+        "compare", help="agreement study: several detectors, one trace"
+    )
+    comp.add_argument("--workload", "-w", required=True, choices=_all_runnable())
+    comp.add_argument(
+        "--detectors",
+        "-d",
+        default="fasttrack-byte,dynamic,drd,inspector",
+        help="comma-separated detector names",
+    )
+    comp.add_argument("--scale", type=float, default=1.0)
+    comp.add_argument("--seed", type=int, default=0)
+
+    hb = sub.add_parser(
+        "hbgraph", help="export a trace's happens-before graph as DOT"
+    )
+    hb.add_argument("trace")
+    hb.add_argument("--out", "-o", help="output .dot path (default stdout)")
+
+    rep = sub.add_parser("replay", help="replay a recorded trace")
+    rep.add_argument("trace")
+    rep.add_argument(
+        "--detector", "-d", default="dynamic", choices=available_detectors()
+    )
+    rep.add_argument("--max-races", type=int, default=20)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("paper benchmarks:")
+    for name in workload_names():
+        w = get_workload(name)
+        print(f"  {name:14s} {w.threads:2d} threads  {w.description}")
+    print("embedded scenarios:")
+    for name in sorted(embedded_scenarios()):
+        w = get_scenario(name)
+        print(f"  {name:14s} {w.threads:2d} threads  {w.description}")
+    print("detectors:")
+    for name in available_detectors():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload = _resolve(args.workload)
+    trace = workload.trace(scale=args.scale, seed=args.seed)
+    print(
+        f"workload {workload.name}: {len(trace)} events, "
+        f"{trace.n_threads} threads, {trace.shared_accesses} shared accesses"
+    )
+    m = measure(
+        trace,
+        args.detector,
+        suppress_libraries=not args.no_suppress,
+    )
+    print(
+        f"{args.detector}: slowdown {m.slowdown:.2f}x, "
+        f"memory overhead {m.memory_overhead:.2f}x"
+    )
+    suppress = None if args.no_suppress else default_suppression
+    det = create_detector(args.detector, suppress=suppress)
+    result = replay(trace, det)
+    print(format_races(result.races, limit=args.max_races))
+    summary = summarize_races(result.races)
+    print(f"summary: {summary}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    fn, title = TABLES[args.number]
+    workloads = args.workloads.split(",") if args.workloads else None
+    rows = fn(scale=args.scale, seed=args.seed, workloads=workloads)
+    print(format_table(rows, f"Table {args.number}: {title}"))
+    return 0
+
+
+def _cmd_record(args) -> int:
+    trace = _resolve(args.workload).trace(scale=args.scale, seed=args.seed)
+    trace.save(args.out)
+    print(f"saved {len(trace)} events to {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.analysis.tracestats import compute_stats, format_stats
+
+    trace = _resolve(args.workload).trace(scale=args.scale, seed=args.seed)
+    print(format_stats(compute_stats(trace), args.workload))
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.analysis.fuzz import format_fuzz_result, fuzz_schedules
+
+    workload = _resolve(args.workload)
+
+    def factory():
+        return workload.build(scale=args.scale, seed=0)
+
+    result = fuzz_schedules(
+        factory, detector=args.detector, trials=args.trials
+    )
+    print(format_fuzz_result(result))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis.compare import compare_detectors, format_comparison
+
+    names = [n.strip() for n in args.detectors.split(",") if n.strip()]
+    for name in names:
+        if name not in available_detectors():
+            print(f"unknown detector {name!r}")
+            return 2
+    trace = _resolve(args.workload).trace(scale=args.scale, seed=args.seed)
+    print(format_comparison(compare_detectors(trace, names)))
+    return 0
+
+
+def _cmd_hbgraph(args) -> int:
+    from repro.analysis.hbgraph import build_hb_graph, to_dot
+
+    trace = Trace.load(args.trace)
+    dot = to_dot(build_hb_graph(trace), trace)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(dot)
+        print(f"wrote {args.out} ({trace.name}, {len(trace)} events)")
+    else:
+        print(dot)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    trace = Trace.load(args.trace)
+    base = bare_replay(trace)
+    det = create_detector(args.detector, suppress=default_suppression)
+    result = replay(trace, det)
+    print(
+        f"{args.detector} on {trace.name}: {result.events} events, "
+        f"slowdown {result.wall_time / base:.2f}x"
+    )
+    print(format_races(result.races, limit=args.max_races))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-race`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "hbgraph":
+        return _cmd_hbgraph(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

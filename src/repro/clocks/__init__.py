@@ -1,0 +1,13 @@
+"""Vector-clock substrate: full vector clocks, FastTrack epochs, and the
+adaptive read-clock representation.
+
+These are the logical-time primitives every happens-before detector in
+:mod:`repro.detectors` and the dynamic-granularity core in
+:mod:`repro.core` are built on.
+"""
+
+from repro.clocks.epoch import Epoch, epoch_leq
+from repro.clocks.vectorclock import VectorClock
+from repro.clocks.adaptive import ReadClock
+
+__all__ = ["VectorClock", "Epoch", "epoch_leq", "ReadClock"]

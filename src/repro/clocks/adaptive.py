@@ -1,0 +1,132 @@
+"""FastTrack's adaptive read representation.
+
+Reads are usually totally ordered (protected by the same lock), in which
+case a single epoch suffices.  Only when a read is concurrent with the
+previous read history ("read shared") does the representation inflate to
+a full vector clock.  This keeps the common case O(1) while staying
+precise for unordered read sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clocks.epoch import BOTTOM, Epoch, epoch_leq
+from repro.clocks.vectorclock import VectorClock
+
+
+class ReadClock:
+    """Read history of a location: an epoch, inflating to a vector clock.
+
+    In *epoch mode* (``vc is None``) the last read epoch subsumes all
+    earlier reads.  In *shared mode* the vector clock records, per
+    thread, the clock of its last read.
+    """
+
+    __slots__ = ("epoch", "vc")
+
+    def __init__(self, epoch: Epoch = BOTTOM, vc: Optional[VectorClock] = None):
+        self.epoch = epoch
+        self.vc = vc
+
+    # ------------------------------------------------------------------
+    @property
+    def is_shared(self) -> bool:
+        """True when inflated to a full vector clock."""
+        return self.vc is not None
+
+    def copy(self) -> "ReadClock":
+        """An independent copy (shared-mode clock is deep-copied)."""
+        return ReadClock(self.epoch, self.vc.copy() if self.vc is not None else None)
+
+    # ------------------------------------------------------------------
+    # happens-before queries
+    # ------------------------------------------------------------------
+    def same_epoch(self, clock: int, tid: int) -> bool:
+        """Fast path: is ``clock@tid`` exactly the recorded read epoch?"""
+        e = self.epoch
+        return self.vc is None and e[0] == clock and e[1] == tid
+
+    def leq(self, thread_vc: VectorClock) -> bool:
+        """Have *all* recorded reads happened before ``thread_vc``?
+
+        This is the write-path check: a write races with any read not
+        ordered before it.
+        """
+        if self.vc is None:
+            return epoch_leq(self.epoch, thread_vc)
+        return self.vc.leq(thread_vc)
+
+    def racing_tids(self, thread_vc: VectorClock) -> list:
+        """Thread ids whose recorded read is concurrent with ``thread_vc``.
+
+        Used for race reporting; empty iff :meth:`leq` holds.
+        """
+        if self.vc is None:
+            return [] if epoch_leq(self.epoch, thread_vc) else [self.epoch.tid]
+        return [
+            t
+            for t, c in enumerate(self.vc.as_list())
+            if c > thread_vc.get(t)
+        ]
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def record(self, clock: int, tid: int, thread_vc: VectorClock) -> None:
+        """Record a read at ``clock@tid`` by a thread with clock ``thread_vc``.
+
+        Implements FastTrack's READ EXCLUSIVE / READ SHARE / READ SHARED
+        transitions: stay in epoch mode while the previous read is
+        ordered before this one, otherwise inflate.
+        """
+        vc = self.vc
+        if vc is not None:
+            vc.set(tid, clock)
+            return
+        prev = self.epoch
+        if prev[0] <= thread_vc.get(prev[1]):
+            # Previous read happened-before this one: epoch suffices.
+            self.epoch = Epoch(clock, tid)
+        else:
+            # Concurrent reads: inflate to a vector clock of both.
+            vc = VectorClock()
+            vc.set(prev[1], prev[0])
+            vc.set(tid, clock)
+            self.vc = vc
+
+    def reset(self) -> None:
+        """Drop the read history (FastTrack's post-write deflation)."""
+        self.epoch = BOTTOM
+        self.vc = None
+
+    # ------------------------------------------------------------------
+    # equality (used by the sharing heuristic)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Semantic equality of read histories.
+
+        An epoch ``c@t`` equals a shared clock that is ``c`` at ``t`` and
+        zero elsewhere, so representation differences never block
+        vector-clock sharing.
+        """
+        if not isinstance(other, ReadClock):
+            return NotImplemented
+        a, b = self.vc, other.vc
+        if a is None and b is None:
+            return self.epoch == other.epoch
+        if a is not None and b is not None:
+            return a == b
+        ep, vc = (self.epoch, b) if a is None else (other.epoch, a)
+        assert vc is not None
+        return vc.get(ep.tid) == ep.clock and all(
+            c == 0 for t, c in enumerate(vc.as_list()) if t != ep.tid
+        )
+
+    def __hash__(self):  # pragma: no cover - mutable
+        raise TypeError("ReadClock is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        if self.vc is None:
+            return f"ReadClock({self.epoch})"
+        return f"ReadClock(shared={self.vc.as_list()})"

@@ -1,0 +1,126 @@
+"""Full vector clocks (Fidge/Mattern) used by threads, locks and shared
+reads.
+
+A :class:`VectorClock` maps thread ids (small dense integers) to logical
+clocks.  Entries beyond the stored length are implicitly zero, so clocks
+grow lazily as threads are forked; this keeps per-clock memory at
+``O(highest tid that ever synchronized)`` instead of ``O(max threads)``.
+
+The representation is a plain Python list.  The detectors replay millions
+of events, so the hot operations (:meth:`leq`, :meth:`join`,
+:meth:`get`) avoid allocation and use local variable binding per the
+profile-first guidance for HPC Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class VectorClock:
+    """A growable vector of logical clocks indexed by thread id."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, clocks: Iterable[int] = ()):  # noqa: D107
+        self._c: List[int] = list(clocks)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_thread(cls, tid: int, initial: int = 1) -> "VectorClock":
+        """A fresh thread clock: ``initial`` at ``tid``, zero elsewhere.
+
+        FastTrack starts each thread at clock 1 so that epoch ``0@t``
+        can serve as the "never accessed" bottom element.
+        """
+        vc = cls()
+        vc._c = [0] * (tid + 1)
+        vc._c[tid] = initial
+        return vc
+
+    def copy(self) -> "VectorClock":
+        """An independent copy of this clock."""
+        vc = VectorClock()
+        vc._c = self._c[:]
+        return vc
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def get(self, tid: int) -> int:
+        """The clock for ``tid`` (implicitly 0 past the stored length)."""
+        c = self._c
+        return c[tid] if tid < len(c) else 0
+
+    def set(self, tid: int, value: int) -> None:
+        """Set the clock for ``tid``, growing the vector as needed."""
+        c = self._c
+        if tid >= len(c):
+            c.extend([0] * (tid + 1 - len(c)))
+        c[tid] = value
+
+    def increment(self, tid: int) -> int:
+        """Advance ``tid``'s clock by one and return the new value."""
+        c = self._c
+        if tid >= len(c):
+            c.extend([0] * (tid + 1 - len(c)))
+        c[tid] += 1
+        return c[tid]
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    # ------------------------------------------------------------------
+    # lattice operations
+    # ------------------------------------------------------------------
+    def join(self, other: "VectorClock") -> None:
+        """In-place element-wise maximum (the ⊔ of the clock lattice)."""
+        a, b = self._c, other._c
+        if len(b) > len(a):
+            a.extend([0] * (len(b) - len(a)))
+        for i, bv in enumerate(b):
+            if bv > a[i]:
+                a[i] = bv
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise ``self[i] <= other[i]`` (the happens-before order)."""
+        a, b = self._c, other._c
+        nb = len(b)
+        for i, av in enumerate(a):
+            if av > (b[i] if i < nb else 0):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        a, b = self._c, other._c
+        if len(a) == len(b):
+            return a == b
+        # Compare with implicit zero padding.
+        short, long_ = (a, b) if len(a) < len(b) else (b, a)
+        n = len(short)
+        return long_[:n] == short and not any(long_[n:])
+
+    def __hash__(self):  # pragma: no cover - clocks are mutable
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def as_list(self) -> List[int]:
+        """A defensive copy of the raw clock list."""
+        return self._c[:]
+
+    def nonzero_width(self) -> int:
+        """Index one past the last nonzero entry (storage actually needed)."""
+        c = self._c
+        for i in range(len(c) - 1, -1, -1):
+            if c[i]:
+                return i + 1
+        return 0
+
+    def __repr__(self) -> str:
+        return f"VectorClock({self._c!r})"

@@ -1,0 +1,36 @@
+"""The paper's contribution: dynamic-granularity vector-clock sharing.
+
+* :mod:`repro.core.state_machine` — the Fig. 2 vector-clock state
+  machine (Init / Shared / Private / Race with first-epoch sub-states).
+* :mod:`repro.core.groups` — clock groups: contiguous runs of shadow
+  locations sharing one vector clock, with split/merge mechanics.
+* :mod:`repro.core.config` — detector configuration and the ablation
+  switches behind Table 5 and the future-work extensions.
+* :mod:`repro.core.detector` — FastTrack with dynamic granularity.
+"""
+
+from repro.core.config import DynamicConfig
+from repro.core.detector import DynamicGranularityDetector
+from repro.core.state_machine import (
+    INIT_PRIVATE,
+    INIT_SHARED,
+    PRIVATE,
+    RACE,
+    SHARED,
+    STATE_NAMES,
+    is_init,
+    legal_transition,
+)
+
+__all__ = [
+    "DynamicGranularityDetector",
+    "DynamicConfig",
+    "INIT_PRIVATE",
+    "INIT_SHARED",
+    "SHARED",
+    "PRIVATE",
+    "RACE",
+    "STATE_NAMES",
+    "is_init",
+    "legal_transition",
+]

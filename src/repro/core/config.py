@@ -1,0 +1,64 @@
+"""Configuration for the dynamic-granularity detector.
+
+The defaults reproduce the paper's tool.  The ablation switches drive
+Table 5 (state-machine variants) and the §VII future-work extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DynamicConfig:
+    """Knobs of the dynamic-granularity algorithm.
+
+    Attributes
+    ----------
+    init_state:
+        Keep the ``Init`` state (paper default).  When False, the
+        sharing decision is made *once*, at the first access, and is
+        firm — the Table 5 "No Init state" variant that trades false
+        alarms for simplicity.
+    share_at_init:
+        Temporarily share clocks during the first epoch (paper
+        default).  When False, every byte gets its own clock until the
+        second-epoch decision — the Table 5 "No sharing at Init"
+        variant that shows how much peak memory the temporary sharing
+        saves.
+    neighbor_scan_limit:
+        How far (bytes) the first-epoch search for the nearest
+        predecessor/successor with a valid clock may look.  Bounds the
+        cost of the at-most-two sharing decisions; also allows sharing
+        across small never-accessed gaps (struct padding).
+    guide_reads_by_writes:
+        §VII future work: only attempt the read-side second-epoch
+        sharing when the corresponding write location's clock is
+        already shared — the write side predicts whether comparing
+        read clocks is worth it.
+    resharing_interval:
+        §VII future work: when > 0, a ``Private`` group re-attempts the
+        sharing decision after this many new-epoch accesses, letting
+        granularity adapt to post-initialization behaviour.  0 keeps
+        the paper's at-most-two-decisions rule.
+    """
+
+    init_state: bool = True
+    share_at_init: bool = True
+    neighbor_scan_limit: int = 16
+    guide_reads_by_writes: bool = False
+    resharing_interval: int = 0
+
+    def __post_init__(self):
+        if self.neighbor_scan_limit < 1:
+            raise ValueError("neighbor_scan_limit must be >= 1")
+        if self.resharing_interval < 0:
+            raise ValueError("resharing_interval must be >= 0")
+
+
+#: The paper's configuration.
+PAPER_DEFAULT = DynamicConfig()
+
+#: Table 5 variants.
+NO_SHARING_AT_INIT = DynamicConfig(share_at_init=False)
+NO_INIT_STATE = DynamicConfig(init_state=False)

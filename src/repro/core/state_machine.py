@@ -1,0 +1,84 @@
+"""The vector-clock state machine (paper Fig. 2).
+
+Each read or write location's clock carries one of four states; the
+``Init`` state has two sub-states distinguishing whether the clock is
+temporarily shared during the location's first epoch:
+
+* ``INIT_PRIVATE`` — 1st-Epoch-Private: first epoch, own clock.
+* ``INIT_SHARED`` — 1st-Epoch-Shared: first epoch, clock temporarily
+  shared with a neighbour that was initialized with the same clock.
+* ``SHARED`` — firm decision at the second-epoch access: the clock is
+  shared with a neighbour for the rest of the location's lifetime.
+* ``PRIVATE`` — firm decision: own clock (may still be adopted into a
+  neighbour's group later, moving to ``SHARED``).
+* ``RACE`` — a data race was found; sharing is dissolved and every
+  member gets a private clock.
+
+The sharing decision is made at most twice per location (once
+temporarily in the first epoch, once firmly at the second), which is
+what bounds the heuristic's overhead.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+INIT_PRIVATE = 0
+INIT_SHARED = 1
+SHARED = 2
+PRIVATE = 3
+RACE = 4
+
+STATE_NAMES = (
+    "1st-epoch-private",
+    "1st-epoch-shared",
+    "shared",
+    "private",
+    "race",
+)
+
+
+def is_init(state: int) -> bool:
+    """True for both first-epoch sub-states."""
+    return state <= INIT_SHARED
+
+
+def is_firm(state: int) -> bool:
+    """True once the lifetime sharing decision has been made."""
+    return state >= SHARED
+
+
+#: Every legal (from, to) edge of Fig. 2.  Self-loops ("no data race on
+#: L" / "all subsequent accesses") are implicit and always legal.
+LEGAL_TRANSITIONS: FrozenSet[Tuple[int, int]] = frozenset(
+    {
+        # temporary sharing during the first epoch
+        (INIT_PRIVATE, INIT_SHARED),  # a new neighbour with the same VC
+        (INIT_SHARED, INIT_PRIVATE),  # split: group-mate left for 2nd epoch
+        # the firm second-epoch decision
+        (INIT_PRIVATE, SHARED),
+        (INIT_PRIVATE, PRIVATE),
+        (INIT_SHARED, SHARED),
+        (INIT_SHARED, PRIVATE),
+        # late adoption: a deciding neighbour had our clock value
+        (PRIVATE, SHARED),
+        # races dissolve sharing from any state
+        (INIT_PRIVATE, RACE),
+        (INIT_SHARED, RACE),
+        (SHARED, RACE),
+        (PRIVATE, RACE),
+    }
+)
+
+
+def legal_transition(old: int, new: int) -> bool:
+    """Whether ``old -> new`` is an edge of the paper's state machine."""
+    return old == new or (old, new) in LEGAL_TRANSITIONS
+
+
+def check_transition(old: int, new: int) -> None:
+    """Assert-style validator used by the test suite and debug builds."""
+    if not legal_transition(old, new):
+        raise AssertionError(
+            f"illegal state transition {STATE_NAMES[old]} -> {STATE_NAMES[new]}"
+        )

@@ -1,0 +1,56 @@
+"""Detector family.
+
+* :mod:`repro.detectors.djit` — DJIT+ (full vector clocks per location).
+* :mod:`repro.detectors.fasttrack` — FastTrack with fixed byte/word
+  granularity (the paper's primary baseline).
+* :mod:`repro.detectors.eraser` — the LockSet algorithm (extra baseline).
+* :mod:`repro.detectors.drd` — segment-based happens-before detection in
+  the RecPlay/Valgrind-DRD family (Table 6 stand-in).
+* :mod:`repro.detectors.inspector` — hybrid happens-before + lockset
+  shadow-history detection (Intel Inspector XE stand-in).
+* :mod:`repro.detectors.multirace` — MultiRace-style LockSet-filtered
+  DJIT+ (paper §VI related work).
+* :mod:`repro.detectors.sampling` — LiteRace and PACER sampling
+  wrappers (paper §VI related work).
+* :mod:`repro.detectors.filters` — Aikido-style page-sharing filtering
+  and demand-driven detection (paper §VI related work).
+* :mod:`repro.detectors.tsan` — ThreadSanitizer-v2-style shadow cells
+  (paper §VI related work).
+* :mod:`repro.detectors.deadlock` — lock-order (potential deadlock) and
+  POSIX lock-misuse checking, the DRD capabilities beyond races.
+
+The paper's dynamic-granularity detector lives in :mod:`repro.core`.
+"""
+
+from repro.detectors.base import Detector, RaceReport, VectorClockRuntime
+from repro.detectors.deadlock import LockOrderDetector
+from repro.detectors.djit import DjitPlusDetector
+from repro.detectors.eraser import EraserDetector
+from repro.detectors.fasttrack import FastTrackDetector
+from repro.detectors.drd import SegmentDetector
+from repro.detectors.filters import AikidoFilter, DemandDrivenFilter
+from repro.detectors.inspector import HybridDetector
+from repro.detectors.multirace import MultiRaceDetector
+from repro.detectors.registry import available_detectors, create_detector
+from repro.detectors.sampling import LiteRaceDetector, PacerDetector
+from repro.detectors.tsan import TsanDetector
+
+__all__ = [
+    "Detector",
+    "RaceReport",
+    "VectorClockRuntime",
+    "DjitPlusDetector",
+    "FastTrackDetector",
+    "EraserDetector",
+    "SegmentDetector",
+    "HybridDetector",
+    "MultiRaceDetector",
+    "LiteRaceDetector",
+    "PacerDetector",
+    "AikidoFilter",
+    "DemandDrivenFilter",
+    "TsanDetector",
+    "LockOrderDetector",
+    "create_detector",
+    "available_detectors",
+]

@@ -1,0 +1,193 @@
+"""Detector interface, race reports and the shared vector-clock runtime.
+
+Every detector consumes the PIN-shaped callback stream
+(``on_read``/``on_write``/``on_acquire``/...) defined here and produces
+:class:`RaceReport` objects.  The happens-before detectors share
+:class:`VectorClockRuntime`, which maintains thread and sync-object
+vector clocks with DJIT+ epoch semantics (a thread's clock advances at
+every lock release).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.clocks.vectorclock import VectorClock
+
+WRITE_WRITE = "write-write"
+WRITE_READ = "write-read"
+READ_WRITE = "read-write"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One detected data race.
+
+    Mirrors the information the paper's tool prints: the racing address,
+    the current access (thread, kind, site) and the previous conflicting
+    access it raced with.
+    """
+
+    addr: int
+    kind: str
+    tid: int
+    site: int
+    prev_tid: int
+    prev_site: int = 0
+    #: width of the shadow unit the race was detected on (1 = byte,
+    #: 4 = word, >1 under dynamic granularity when a group was shared)
+    unit: int = 1
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} race at 0x{self.addr:x}: thread {self.tid} "
+            f"(site {self.site}) vs thread {self.prev_tid} "
+            f"(site {self.prev_site})"
+        )
+
+
+class Detector:
+    """Base class: callback interface + race collection + suppression."""
+
+    name = "detector"
+
+    def __init__(self, suppress: Optional[Callable[[int], bool]] = None):
+        self.races: List[RaceReport] = []
+        #: sites for which races are suppressed (libc/ld-style rules)
+        self._suppress = suppress
+        #: byte addresses already reported racy (first race per location)
+        self._racy: set = set()
+
+    # -- memory access callbacks (addr, size in bytes, static site id) --
+    def on_read(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        """A shared read of ``size`` bytes at ``addr`` by ``tid``."""
+
+    def on_write(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        """A shared write of ``size`` bytes at ``addr`` by ``tid``."""
+
+    # -- synchronization callbacks --------------------------------------
+    def on_acquire(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
+        """``tid`` acquired sync object ``sync_id``.
+
+        ``is_lock`` is 1 for mutex operations and 0 for ordering-only
+        sync (semaphores, barriers, condvars) — the happens-before
+        semantics are identical, but lockset-based detectors must not
+        treat a semaphore token as a held lock.
+        """
+
+    def on_release(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
+        """``tid`` released sync object ``sync_id`` (starts a new epoch)."""
+
+    def on_fork(self, tid: int, child_tid: int) -> None:
+        """``tid`` spawned ``child_tid``."""
+
+    def on_join(self, tid: int, target_tid: int) -> None:
+        """``tid`` joined finished thread ``target_tid``."""
+
+    # -- heap callbacks --------------------------------------------------
+    def on_alloc(self, tid: int, addr: int, size: int) -> None:
+        """A heap block ``[addr, addr+size)`` was allocated."""
+
+    def on_free(self, tid: int, addr: int, size: int) -> None:
+        """The heap block ``[addr, addr+size)`` was freed."""
+
+    def finish(self) -> None:
+        """End of trace (flush segment detectors etc.)."""
+
+    # ---------------------------------------------------------------
+    def report(self, race: RaceReport) -> bool:
+        """Record ``race`` unless suppressed or the location already
+        raced (the paper's tools report the first race per location)."""
+        if race.addr in self._racy:
+            return False
+        if self._suppress is not None and self._suppress(race.site):
+            self._racy.add(race.addr)
+            return False
+        self._racy.add(race.addr)
+        self.races.append(race)
+        return True
+
+    def statistics(self) -> Dict[str, object]:
+        """Detector-specific counters for the analysis tables."""
+        return {}
+
+
+class VectorClockRuntime(Detector):
+    """Thread/lock vector-clock maintenance shared by HB detectors.
+
+    Semantics (paper §II, DJIT+): a thread's own clock increments at
+    every lock release — each release starts a new *epoch*.  Sync-object
+    clocks accumulate releases with a join, which also gives barriers
+    and semaphores (modelled as release/acquire on one object) the right
+    ordering.
+    """
+
+    def __init__(self, suppress: Optional[Callable[[int], bool]] = None):
+        super().__init__(suppress)
+        self.thread_vc: Dict[int, VectorClock] = {0: VectorClock.for_thread(0)}
+        self.lock_vc: Dict[int, VectorClock] = {}
+        #: locks currently held per thread (for lockset-hybrid detectors)
+        self.held: Dict[int, set] = {0: set()}
+        self.max_tid = 0
+        self.epoch_count = 1
+
+    # ---------------------------------------------------------------
+    def _vc(self, tid: int) -> VectorClock:
+        vc = self.thread_vc.get(tid)
+        if vc is None:
+            # A thread observed before its fork event (defensive): give
+            # it a fresh clock so replay of partial traces still works.
+            vc = VectorClock.for_thread(tid)
+            self.thread_vc[tid] = vc
+            self.held[tid] = set()
+            if tid > self.max_tid:
+                self.max_tid = tid
+        return vc
+
+    def new_epoch(self, tid: int) -> None:
+        """Hook: called whenever ``tid`` enters a new epoch."""
+        self.epoch_count += 1
+
+    # ---------------------------------------------------------------
+    def on_acquire(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
+        vc = self._vc(tid)
+        lvc = self.lock_vc.get(sync_id)
+        if lvc is not None:
+            vc.join(lvc)
+        if is_lock:
+            self.held.setdefault(tid, set()).add(sync_id)
+
+    def on_release(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
+        vc = self._vc(tid)
+        lvc = self.lock_vc.get(sync_id)
+        if lvc is None:
+            self.lock_vc[sync_id] = vc.copy()
+        else:
+            lvc.join(vc)
+        vc.increment(tid)
+        if is_lock:
+            self.held.setdefault(tid, set()).discard(sync_id)
+        self.new_epoch(tid)
+
+    def on_fork(self, tid: int, child_tid: int) -> None:
+        parent = self._vc(tid)
+        child = VectorClock.for_thread(child_tid)
+        child.join(parent)
+        self.thread_vc[child_tid] = child
+        self.held[child_tid] = set()
+        if child_tid > self.max_tid:
+            self.max_tid = child_tid
+        parent.increment(tid)
+        self.new_epoch(tid)
+
+    def on_join(self, tid: int, target_tid: int) -> None:
+        self._vc(tid).join(self._vc(target_tid))
+        self.new_epoch(tid)
+        # note: the joiner's own clock need not advance; joining only
+        # imports the target's history.
+
+    # ---------------------------------------------------------------
+    @property
+    def n_threads(self) -> int:
+        return self.max_tid + 1

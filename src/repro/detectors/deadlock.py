@@ -1,0 +1,124 @@
+"""Lock-order (potential deadlock) and lock-misuse checking.
+
+The paper describes Valgrind DRD as detecting "various errors including
+data races, lock contention delays, and misuses of the POSIX library";
+deadlocks are the other concurrency hazard its introduction names.
+This module supplies those capabilities for our detector family:
+
+* :class:`LockOrderDetector` maintains the global lock-acquisition
+  graph: an edge ``a → b`` means some thread acquired ``b`` while
+  holding ``a``.  A cycle means two locks are taken in opposite orders
+  somewhere — a *potential* deadlock even if this run never hung
+  (exactly how Valgrind/helgrind's lock-order checker works).
+  It also flags POSIX misuse it can observe from the event stream:
+  releasing a lock another thread holds, recursive acquisition, and
+  locks still held when a thread's events end.
+
+Reports reuse :class:`~repro.detectors.base.RaceReport` with kind
+``lock-order`` / ``lock-misuse`` so the same tooling renders them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.detectors.base import Detector, RaceReport
+
+LOCK_ORDER = "lock-order"
+LOCK_MISUSE = "lock-misuse"
+
+
+class LockOrderDetector(Detector):
+    """Potential-deadlock detection via the lock-order graph."""
+
+    name = "lock-order"
+
+    def __init__(self, suppress: Optional[Callable[[int], bool]] = None):
+        super().__init__(suppress)
+        #: held locks per thread, in acquisition order
+        self._held: Dict[int, List[int]] = {}
+        #: lock-order edges: lock -> set of locks acquired while held
+        self.order_graph: Dict[int, Set[int]] = {}
+        #: (a, b) pairs already reported (one report per inversion)
+        self._reported_pairs: Set[Tuple[int, int]] = set()
+        #: last acquire site per (tid, lock) for reporting
+        self._acquire_site: Dict[Tuple[int, int], int] = {}
+        self.contention_waits = 0
+
+    # ------------------------------------------------------------------
+    def _reaches(self, src: int, dst: int) -> bool:
+        """DFS reachability in the lock-order graph."""
+        stack = [src]
+        visited = set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.extend(self.order_graph.get(node, ()))
+        return False
+
+    # ------------------------------------------------------------------
+    def on_acquire(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
+        if not is_lock:
+            return
+        held = self._held.setdefault(tid, [])
+        self._acquire_site[(tid, sync_id)] = 0
+        if sync_id in held:
+            self.report(
+                RaceReport(sync_id, LOCK_MISUSE, tid, 0, tid, 0)
+            )
+            return
+        for prior in held:
+            edges = self.order_graph.setdefault(prior, set())
+            if sync_id not in edges:
+                # New edge prior -> sync_id: a cycle exists iff sync_id
+                # already reaches prior.
+                if self._reaches(sync_id, prior):
+                    pair = (min(prior, sync_id), max(prior, sync_id))
+                    if pair not in self._reported_pairs:
+                        self._reported_pairs.add(pair)
+                        self.races.append(
+                            RaceReport(
+                                sync_id, LOCK_ORDER, tid, 0, -1, 0
+                            )
+                        )
+                edges.add(sync_id)
+        held.append(sync_id)
+
+    def on_release(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
+        if not is_lock:
+            return
+        held = self._held.get(tid)
+        if not held or sync_id not in held:
+            self.report(RaceReport(sync_id, LOCK_MISUSE, tid, 0, -1, 0))
+            return
+        held.remove(sync_id)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        for tid, held in self._held.items():
+            for lock in held:
+                # Lock leaked: still held when the trace ended.
+                self.races.append(
+                    RaceReport(lock, LOCK_MISUSE, tid, 0, tid, 0)
+                )
+
+    # ------------------------------------------------------------------
+    def potential_deadlock_pairs(self) -> Set[Tuple[int, int]]:
+        """All reported lock pairs with inverted acquisition orders."""
+        return set(self._reported_pairs)
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "locks_seen": len(
+                set(self.order_graph)
+                | {b for edges in self.order_graph.values() for b in edges}
+            ),
+            "order_edges": sum(
+                len(edges) for edges in self.order_graph.values()
+            ),
+            "inversions": len(self._reported_pairs),
+        }

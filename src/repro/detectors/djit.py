@@ -1,0 +1,156 @@
+"""DJIT+ (Pozniansky & Schuster): full vector clocks per location.
+
+The reference precise detector (paper §II-B).  Every shadow location
+keeps a read vector clock ``R_x`` and a write vector clock ``W_x``;
+races are vector-clock comparisons.  Only the first read and first
+write of a location per epoch are checked (the per-thread bitmap fast
+path), which DJIT+ shows preserves first-race detection.
+
+Kept primarily as the precision oracle for FastTrack and the
+dynamic-granularity detector — FastTrack is proven to report the same
+first race per location, and our property tests lean on that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.clocks.vectorclock import VectorClock
+from repro.detectors.base import (
+    READ_WRITE,
+    WRITE_READ,
+    WRITE_WRITE,
+    RaceReport,
+    VectorClockRuntime,
+)
+from repro.shadow.bitmap import EpochBitmap
+
+
+class _Loc:
+    """Per-location access history: read VC, write VC, last-access sites."""
+
+    __slots__ = ("r", "w", "r_site", "w_site", "w_tid")
+
+    def __init__(self):
+        self.r: Optional[VectorClock] = None
+        self.w: Optional[VectorClock] = None
+        self.r_site = 0
+        self.w_site = 0
+        self.w_tid = -1
+
+
+class DjitPlusDetector(VectorClockRuntime):
+    """DJIT+ with a fixed detection granularity (1 = byte, 4 = word)."""
+
+    def __init__(
+        self,
+        granularity: int = 1,
+        suppress: Optional[Callable[[int], bool]] = None,
+    ):
+        super().__init__(suppress)
+        if granularity not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported granularity {granularity}")
+        self.granularity = granularity
+        self.name = f"djit-{'byte' if granularity == 1 else 'word'}"
+        self._locs: Dict[int, _Loc] = {}
+        self._read_seen: Dict[int, EpochBitmap] = {}
+        self._write_seen: Dict[int, EpochBitmap] = {}
+        self.same_epoch_hits = 0
+        self.checked_accesses = 0
+
+    # ------------------------------------------------------------------
+    def new_epoch(self, tid: int) -> None:
+        super().new_epoch(tid)
+        bm = self._read_seen.get(tid)
+        if bm is not None:
+            bm.reset()
+        bm = self._write_seen.get(tid)
+        if bm is not None:
+            bm.reset()
+
+    def _units(self, addr: int, size: int):
+        g = self.granularity
+        first = addr - addr % g
+        last = addr + size - 1
+        return range(first, last - last % g + 1, g)
+
+    def _bitmap(self, table: Dict[int, EpochBitmap], tid: int) -> EpochBitmap:
+        bm = table.get(tid)
+        if bm is None:
+            bm = table[tid] = EpochBitmap()
+        return bm
+
+    # ------------------------------------------------------------------
+    def on_read(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        g = self.granularity
+        base = addr - addr % g
+        span = addr + size - base
+        if self._bitmap(self._read_seen, tid).test_and_set(base, span):
+            self.same_epoch_hits += 1
+            return
+        vc = self._vc(tid)
+        my_clock = vc.get(tid)
+        for unit in self._units(addr, size):
+            self.checked_accesses += 1
+            loc = self._locs.get(unit)
+            if loc is None:
+                loc = self._locs[unit] = _Loc()
+            w = loc.w
+            if w is not None and not w.leq(vc):
+                self.report(
+                    RaceReport(unit, WRITE_READ, tid, site, loc.w_tid,
+                               loc.w_site, unit=g)
+                )
+            if loc.r is None:
+                loc.r = VectorClock()
+            loc.r.set(tid, my_clock)
+            loc.r_site = site
+
+    def on_write(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        g = self.granularity
+        base = addr - addr % g
+        span = addr + size - base
+        if self._bitmap(self._write_seen, tid).test_and_set(base, span):
+            self.same_epoch_hits += 1
+            return
+        vc = self._vc(tid)
+        my_clock = vc.get(tid)
+        for unit in self._units(addr, size):
+            self.checked_accesses += 1
+            loc = self._locs.get(unit)
+            if loc is None:
+                loc = self._locs[unit] = _Loc()
+            w = loc.w
+            if w is not None and not w.leq(vc):
+                self.report(
+                    RaceReport(unit, WRITE_WRITE, tid, site, loc.w_tid,
+                               loc.w_site, unit=g)
+                )
+            r = loc.r
+            if r is not None and not r.leq(vc):
+                prev = next(
+                    (t for t, c in enumerate(r.as_list()) if c > vc.get(t)),
+                    -1,
+                )
+                self.report(
+                    RaceReport(unit, READ_WRITE, tid, site, prev,
+                               loc.r_site, unit=g)
+                )
+            if w is None:
+                loc.w = w = VectorClock()
+            w.set(tid, my_clock)
+            loc.w_site = site
+            loc.w_tid = tid
+
+    # ------------------------------------------------------------------
+    def on_free(self, tid: int, addr: int, size: int) -> None:
+        for unit in self._units(addr, size):
+            self._locs.pop(unit, None)
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "locations": len(self._locs),
+            "same_epoch_hits": self.same_epoch_hits,
+            "checked_accesses": self.checked_accesses,
+            "threads": self.n_threads,
+        }

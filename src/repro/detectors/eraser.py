@@ -1,0 +1,146 @@
+"""Eraser's LockSet algorithm (Savage et al., TOCS'97).
+
+Included as the classic lock-discipline baseline the paper contrasts
+with happens-before detection: LockSet flags *potential* races (shared
+locations not consistently protected by a common lock), which gives
+better coverage across interleavings but produces false alarms — e.g.
+for fork-join or barrier patterns that are perfectly ordered without
+any common lock.
+
+Per-location state machine (the original paper's refinement):
+
+``Virgin`` → first write → ``Exclusive(t)`` → another thread reads →
+``Shared`` (reads only) or writes → ``SharedModified``.  The candidate
+set starts as the locks held at the first non-exclusive access and is
+intersected on every subsequent access; an empty candidate set in
+``SharedModified`` is reported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.detectors.base import Detector, RaceReport
+
+VIRGIN = 0
+EXCLUSIVE = 1
+SHARED = 2
+SHARED_MODIFIED = 3
+
+STATE_NAMES = ("virgin", "exclusive", "shared", "shared-modified")
+
+
+class _LockSetLoc:
+    __slots__ = ("state", "owner", "candidates", "last_site", "last_tid")
+
+    def __init__(self):
+        self.state = VIRGIN
+        self.owner = -1
+        self.candidates: Optional[frozenset] = None
+        self.last_site = 0
+        self.last_tid = -1
+
+
+class EraserDetector(Detector):
+    """LockSet at byte granularity.
+
+    Race kind is reported as ``lockset`` since LockSet does not know
+    which concrete pair of accesses raced.
+    """
+
+    name = "eraser"
+
+    def __init__(
+        self,
+        granularity: int = 1,
+        suppress: Optional[Callable[[int], bool]] = None,
+    ):
+        super().__init__(suppress)
+        self.granularity = granularity
+        self._locs: Dict[int, _LockSetLoc] = {}
+        self.held: Dict[int, frozenset] = {}
+
+    # ------------------------------------------------------------------
+    def _held(self, tid: int) -> frozenset:
+        return self.held.get(tid, frozenset())
+
+    def on_acquire(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
+        if is_lock:
+            self.held[tid] = self._held(tid) | {sync_id}
+
+    def on_release(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
+        if is_lock:
+            self.held[tid] = self._held(tid) - {sync_id}
+
+    # ------------------------------------------------------------------
+    def _units(self, addr: int, size: int):
+        g = self.granularity
+        first = addr - addr % g
+        last = addr + size - 1
+        return range(first, last - last % g + 1, g)
+
+    def _access(self, tid: int, addr: int, size: int, site: int,
+                is_write: bool) -> None:
+        held = self._held(tid)
+        for unit in self._units(addr, size):
+            loc = self._locs.get(unit)
+            if loc is None:
+                loc = self._locs[unit] = _LockSetLoc()
+            state = loc.state
+            if state == VIRGIN:
+                if is_write:
+                    loc.state = EXCLUSIVE
+                    loc.owner = tid
+                else:
+                    # Read before any write: treat like exclusive-read.
+                    loc.state = EXCLUSIVE
+                    loc.owner = tid
+            elif state == EXCLUSIVE:
+                if tid == loc.owner:
+                    pass  # still single-threaded: no discipline required
+                else:
+                    loc.candidates = held
+                    loc.state = SHARED_MODIFIED if is_write else SHARED
+                    if loc.state == SHARED_MODIFIED and not loc.candidates:
+                        self.report(
+                            RaceReport(
+                                unit, "lockset", tid, site,
+                                loc.last_tid, loc.last_site,
+                                unit=self.granularity,
+                            )
+                        )
+            else:
+                loc.candidates = (
+                    held if loc.candidates is None else loc.candidates & held
+                )
+                if is_write:
+                    loc.state = SHARED_MODIFIED
+                if loc.state == SHARED_MODIFIED and not loc.candidates:
+                    self.report(
+                        RaceReport(
+                            unit, "lockset", tid, site,
+                            loc.last_tid, loc.last_site,
+                            unit=self.granularity,
+                        )
+                    )
+            loc.last_site = site
+            loc.last_tid = tid
+
+    def on_read(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        self._access(tid, addr, size, site, is_write=False)
+
+    def on_write(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        self._access(tid, addr, size, site, is_write=True)
+
+    def on_free(self, tid: int, addr: int, size: int) -> None:
+        for unit in self._units(addr, size):
+            self._locs.pop(unit, None)
+
+    def statistics(self) -> Dict[str, object]:
+        counts = [0, 0, 0, 0]
+        for loc in self._locs.values():
+            counts[loc.state] += 1
+        return {
+            "locations": len(self._locs),
+            "states": dict(zip(STATE_NAMES, counts)),
+        }

@@ -1,0 +1,183 @@
+"""MultiRace-style hybrid: LockSet filtering + DJIT+ confirmation.
+
+The paper's §VI describes MultiRace (Pozniansky & Schuster): combine
+DJIT+ with the LockSet algorithm so that cheap lock-discipline tracking
+*filters* which locations need expensive vector-clock checks, and the
+happens-before relation *filters out* LockSet's false alarms.
+
+Our rendition keeps, per location:
+
+* the Eraser state machine (Virgin/Exclusive/Shared/SharedModified with
+  a candidate lockset), updated on every first-per-epoch access;
+* vector clocks — but only once the location's candidate set is empty
+  (a *suspect*).  Suspects are then checked with full DJIT+ precision,
+  so every report is a real happens-before race.
+
+Locations that keep a consistent lock never pay for clocks (the
+MultiRace saving); LockSet false positives (fork/join, barriers) are
+confirmed against the happens-before relation and dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.clocks.adaptive import ReadClock
+from repro.detectors.base import (
+    READ_WRITE,
+    WRITE_READ,
+    WRITE_WRITE,
+    RaceReport,
+    VectorClockRuntime,
+)
+from repro.shadow.bitmap import EpochBitmap
+
+VIRGIN = 0
+EXCLUSIVE = 1
+SHARED = 2
+SHARED_MODIFIED = 3
+
+
+class _Loc:
+    __slots__ = (
+        "state", "owner", "candidates",
+        "wc", "wt", "r", "w_site", "r_site", "suspect",
+    )
+
+    def __init__(self):
+        self.state = VIRGIN
+        self.owner = -1
+        self.candidates: Optional[frozenset] = None
+        self.suspect = False
+        # clock fields, populated lazily once suspect
+        self.wc = 0
+        self.wt = 0
+        self.r: Optional[ReadClock] = None
+        self.w_site = 0
+        self.r_site = 0
+
+
+class MultiRaceDetector(VectorClockRuntime):
+    """LockSet-filtered happens-before detection at byte granularity."""
+
+    name = "multirace"
+
+    def __init__(self, suppress: Optional[Callable[[int], bool]] = None):
+        super().__init__(suppress)
+        self._locs: Dict[int, _Loc] = {}
+        self._read_seen: Dict[int, EpochBitmap] = {}
+        self._write_seen: Dict[int, EpochBitmap] = {}
+        self.suspects = 0
+        self.filtered_accesses = 0
+
+    # ------------------------------------------------------------------
+    def new_epoch(self, tid: int) -> None:
+        super().new_epoch(tid)
+        for table in (self._read_seen, self._write_seen):
+            bm = table.get(tid)
+            if bm is not None:
+                bm.reset()
+
+    def _bitmap(self, table, tid: int) -> EpochBitmap:
+        bm = table.get(tid)
+        if bm is None:
+            bm = table[tid] = EpochBitmap()
+        return bm
+
+    # ------------------------------------------------------------------
+    def _lockset_step(self, loc: _Loc, tid: int, is_write: bool) -> None:
+        """Advance the Eraser state machine; mark suspects."""
+        held = self.held.get(tid) or frozenset()
+        state = loc.state
+        if state == VIRGIN:
+            loc.state = EXCLUSIVE
+            loc.owner = tid
+            return
+        if state == EXCLUSIVE:
+            if tid == loc.owner:
+                return
+            loc.candidates = frozenset(held)
+            loc.state = SHARED_MODIFIED if is_write else SHARED
+        else:
+            loc.candidates = (
+                frozenset(held)
+                if loc.candidates is None
+                else loc.candidates & held
+            )
+            if is_write:
+                loc.state = SHARED_MODIFIED
+        if loc.state == SHARED_MODIFIED and not loc.candidates:
+            if not loc.suspect:
+                loc.suspect = True
+                loc.r = ReadClock()
+                self.suspects += 1
+
+    # ------------------------------------------------------------------
+    def _hb_read(self, loc: _Loc, tid: int, addr: int, site: int) -> None:
+        vc = self._vc(tid)
+        if loc.wc > vc.get(loc.wt):
+            self.report(
+                RaceReport(addr, WRITE_READ, tid, site, loc.wt, loc.w_site)
+            )
+        loc.r.record(vc.get(tid), tid, vc)
+        loc.r_site = site
+
+    def _hb_write(self, loc: _Loc, tid: int, addr: int, site: int) -> None:
+        vc = self._vc(tid)
+        if loc.wc > vc.get(loc.wt):
+            self.report(
+                RaceReport(addr, WRITE_WRITE, tid, site, loc.wt, loc.w_site)
+            )
+        if loc.r is not None and not loc.r.leq(vc):
+            prev = loc.r.racing_tids(vc)
+            self.report(
+                RaceReport(addr, READ_WRITE, tid, site,
+                           prev[0] if prev else -1, loc.r_site)
+            )
+        loc.wc = vc.get(tid)
+        loc.wt = tid
+        loc.w_site = site
+
+    # ------------------------------------------------------------------
+    def _access(self, tid, addr, size, site, is_write):
+        seen = self._write_seen if is_write else self._read_seen
+        if self._bitmap(seen, tid).test_and_set(addr, size):
+            return
+        for a in range(addr, addr + size):
+            loc = self._locs.get(a)
+            if loc is None:
+                loc = self._locs[a] = _Loc()
+            self._lockset_step(loc, tid, is_write)
+            if loc.suspect:
+                if is_write:
+                    self._hb_write(loc, tid, a, site)
+                else:
+                    self._hb_read(loc, tid, a, site)
+            else:
+                self.filtered_accesses += 1
+                # Track the write epoch even pre-suspicion so the first
+                # happens-before check has history to compare against.
+                if is_write:
+                    vc = self._vc(tid)
+                    loc.wc = vc.get(tid)
+                    loc.wt = tid
+                    loc.w_site = site
+
+    def on_read(self, tid, addr, size, site=0):
+        self._access(tid, addr, size, site, is_write=False)
+
+    def on_write(self, tid, addr, size, site=0):
+        self._access(tid, addr, size, site, is_write=True)
+
+    def on_free(self, tid, addr, size):
+        for a in range(addr, addr + size):
+            self._locs.pop(a, None)
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "locations": len(self._locs),
+            "suspects": self.suspects,
+            "filtered_accesses": self.filtered_accesses,
+            "threads": self.n_threads,
+        }

@@ -1,0 +1,82 @@
+"""Name-based detector construction for the CLI, benchmarks and tests."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.detectors.djit import DjitPlusDetector
+from repro.detectors.drd import SegmentDetector
+from repro.detectors.eraser import EraserDetector
+from repro.detectors.fasttrack import FastTrackDetector
+from repro.detectors.deadlock import LockOrderDetector
+from repro.detectors.filters import AikidoFilter, DemandDrivenFilter
+from repro.detectors.inspector import HybridDetector
+from repro.detectors.multirace import MultiRaceDetector
+from repro.detectors.sampling import LiteRaceDetector, PacerDetector
+from repro.detectors.tsan import TsanDetector
+
+
+def _dynamic(**kwargs):
+    # Imported lazily to avoid a circular import (repro.core builds on
+    # repro.detectors.base).
+    from repro.core.config import DynamicConfig
+    from repro.core.detector import DynamicGranularityDetector
+
+    config = kwargs.pop("config", None)
+    flags = {
+        k: kwargs.pop(k)
+        for k in (
+            "init_state",
+            "share_at_init",
+            "neighbor_scan_limit",
+            "guide_reads_by_writes",
+            "resharing_interval",
+        )
+        if k in kwargs
+    }
+    if config is None:
+        config = DynamicConfig(**flags)
+    elif flags:
+        raise TypeError("pass either config= or individual flags, not both")
+    return DynamicGranularityDetector(config=config, **kwargs)
+
+
+_FACTORIES: Dict[str, Callable] = {
+    "djit-byte": lambda **kw: DjitPlusDetector(granularity=1, **kw),
+    "djit-word": lambda **kw: DjitPlusDetector(granularity=4, **kw),
+    "fasttrack-byte": lambda **kw: FastTrackDetector(granularity=1, **kw),
+    "fasttrack-word": lambda **kw: FastTrackDetector(granularity=4, **kw),
+    "fasttrack-dynamic": _dynamic,
+    "dynamic": _dynamic,
+    "eraser": lambda **kw: EraserDetector(**kw),
+    "drd": lambda **kw: SegmentDetector(**kw),
+    "inspector": lambda **kw: HybridDetector(**kw),
+    "multirace": lambda **kw: MultiRaceDetector(**kw),
+    "literace": lambda **kw: LiteRaceDetector(**kw),
+    "pacer": lambda **kw: PacerDetector(**kw),
+    "aikido": lambda **kw: AikidoFilter(**kw),
+    "demand-driven": lambda **kw: DemandDrivenFilter(**kw),
+    "tsan": lambda **kw: TsanDetector(**kw),
+    "lock-order": lambda **kw: LockOrderDetector(**kw),
+}
+
+
+def available_detectors() -> List[str]:
+    """All registered detector names."""
+    return sorted(_FACTORIES)
+
+
+def create_detector(name: str, **kwargs):
+    """Instantiate a detector by registry name.
+
+    Extra keyword arguments are forwarded to the constructor (e.g.
+    ``suppress=``, or the :class:`~repro.core.config.DynamicConfig`
+    flags for the dynamic detector).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown detector {name!r}; available: {available_detectors()}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,221 @@
+"""Sampling race detectors (paper §VI related work).
+
+Two samplers from the literature the paper surveys, built as wrappers
+around a full happens-before detector so their trade-off — "reasonable
+detection rate with minimal overhead, but may miss critical data
+races" — can be measured directly against FastTrack on the same traces
+(see ``benchmarks/bench_sampling.py``).
+
+* :class:`LiteRaceDetector` (Marino et al., PLDI'09): the *cold-region
+  hypothesis* — rarely executed code is likelier to race.  Each static
+  site starts fully sampled; its rate decays as the site gets hot,
+  down to a floor.  Synchronization is always processed (clocks must
+  stay exact), only memory accesses are sampled.
+
+* :class:`PacerDetector` (Bond et al., PLDI'10): global sampling
+  *periods* — a deterministic fraction ``rate`` of epochs is sampled;
+  within a sampled period accesses are fully processed, outside it
+  reads/writes are still *checked* against existing shadow state but
+  not recorded, giving detection probability roughly proportional to
+  the rate.
+
+Sampling decisions are deterministic (hashes of site/epoch counters),
+so runs are reproducible like everything else in this codebase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.detectors.base import Detector
+from repro.detectors.fasttrack import FastTrackDetector
+
+
+class _SamplingBase(Detector):
+    """Forwards everything to an inner detector; subclasses decide
+    which memory accesses to forward."""
+
+    def __init__(self, inner: Optional[Detector] = None,
+                 suppress: Optional[Callable[[int], bool]] = None):
+        super().__init__(suppress)
+        self.inner = inner if inner is not None else FastTrackDetector(
+            granularity=1, suppress=suppress
+        )
+        self.sampled_accesses = 0
+        self.skipped_accesses = 0
+
+    # sync events always reach the inner detector — clocks stay exact.
+    def on_acquire(self, tid, sync_id, is_lock=1):
+        self.inner.on_acquire(tid, sync_id, is_lock)
+
+    def on_release(self, tid, sync_id, is_lock=1):
+        self.inner.on_release(tid, sync_id, is_lock)
+
+    def on_fork(self, tid, child_tid):
+        self.inner.on_fork(tid, child_tid)
+
+    def on_join(self, tid, target_tid):
+        self.inner.on_join(tid, target_tid)
+
+    def on_alloc(self, tid, addr, size):
+        self.inner.on_alloc(tid, addr, size)
+
+    def on_free(self, tid, addr, size):
+        self.inner.on_free(tid, addr, size)
+
+    def finish(self):
+        self.inner.finish()
+        self.races = self.inner.races
+
+    def statistics(self) -> Dict[str, object]:
+        total = self.sampled_accesses + self.skipped_accesses
+        stats = dict(self.inner.statistics())
+        stats.update(
+            {
+                "sampled_accesses": self.sampled_accesses,
+                "skipped_accesses": self.skipped_accesses,
+                "effective_rate": (
+                    self.sampled_accesses / total if total else 1.0
+                ),
+            }
+        )
+        return stats
+
+
+class LiteRaceDetector(_SamplingBase):
+    """Per-site adaptive sampling (cold-region hypothesis).
+
+    A site's sampling period doubles every ``burst`` sampled
+    executions, capping at ``1/floor_rate`` — cold sites stay fully
+    instrumented while hot loops decay to the floor.
+    """
+
+    name = "literace"
+
+    def __init__(
+        self,
+        floor_rate: float = 0.01,
+        burst: int = 10,
+        inner: Optional[Detector] = None,
+        suppress: Optional[Callable[[int], bool]] = None,
+    ):
+        super().__init__(inner, suppress)
+        if not 0.0 < floor_rate <= 1.0:
+            raise ValueError("floor_rate must be in (0, 1]")
+        self.floor_rate = floor_rate
+        self.burst = burst
+        self._max_period = max(1, round(1.0 / floor_rate))
+        # per-site: [executions, current_period]
+        self._sites: Dict[int, list] = {}
+
+    def _sample(self, site: int) -> bool:
+        state = self._sites.get(site)
+        if state is None:
+            state = self._sites[site] = [0, 1]
+        count, period = state
+        state[0] = count + 1
+        take = count % period == 0
+        # Decay: after each `burst` executions, double the period.
+        if state[0] % self.burst == 0 and period < self._max_period:
+            state[1] = min(period * 2, self._max_period)
+        return take
+
+    def on_read(self, tid, addr, size, site=0):
+        if self._sample(site):
+            self.sampled_accesses += 1
+            self.inner.on_read(tid, addr, size, site)
+        else:
+            self.skipped_accesses += 1
+
+    def on_write(self, tid, addr, size, site=0):
+        if self._sample(site):
+            self.sampled_accesses += 1
+            self.inner.on_write(tid, addr, size, site)
+        else:
+            self.skipped_accesses += 1
+
+
+class PacerDetector(_SamplingBase):
+    """Epoch-period sampling with check-only shadow reads outside
+    sampled periods.
+
+    ``rate`` of each thread's epochs are sampled (deterministically, by
+    epoch index).  In a non-sampled epoch an access is still *checked*
+    against already-recorded shadow state — PACER's insight that one
+    sampled endpoint suffices to catch a race with probability ~rate —
+    but records nothing new.
+    """
+
+    name = "pacer"
+
+    def __init__(
+        self,
+        rate: float = 0.1,
+        inner: Optional[Detector] = None,
+        suppress: Optional[Callable[[int], bool]] = None,
+    ):
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        inner = inner if inner is not None else FastTrackDetector(1, suppress)
+        super().__init__(inner, suppress)
+        self.rate = rate
+        self._period = max(1, round(1.0 / rate))
+        self._epoch_index: Dict[int, int] = {}
+
+    def _sampling(self, tid: int) -> bool:
+        return self._epoch_index.get(tid, 0) % self._period == 0
+
+    def on_release(self, tid, sync_id, is_lock=1):
+        # sampling periods advance with epochs (one per lock release)
+        self._epoch_index[tid] = self._epoch_index.get(tid, 0) + 1
+        super().on_release(tid, sync_id, is_lock)
+
+    def _check_only(self, tid, addr, size, site, is_write):
+        """Race-check against recorded shadow without recording."""
+        inner = self.inner
+        if not isinstance(inner, FastTrackDetector):
+            return  # check-only path needs FastTrack shadow access
+        vc = inner._vc(tid)
+        g = inner.granularity
+        base = addr - addr % g
+        last = addr + size - 1
+        for unit in range(base, last - last % g + g, g):
+            rec = inner._table.get(unit)
+            if rec is None:
+                continue
+            if rec.wc > vc.get(rec.wt):
+                from repro.detectors.base import (
+                    WRITE_READ,
+                    WRITE_WRITE,
+                    RaceReport,
+                )
+
+                kind = WRITE_WRITE if is_write else WRITE_READ
+                inner.report(
+                    RaceReport(unit, kind, tid, site, rec.wt, rec.w_site,
+                               unit=g)
+                )
+            if is_write and not rec.r.leq(vc):
+                from repro.detectors.base import READ_WRITE, RaceReport
+
+                prev = rec.r.racing_tids(vc)
+                inner.report(
+                    RaceReport(unit, READ_WRITE, tid, site,
+                               prev[0] if prev else -1, rec.r_site, unit=g)
+                )
+
+    def on_read(self, tid, addr, size, site=0):
+        if self._sampling(tid):
+            self.sampled_accesses += 1
+            self.inner.on_read(tid, addr, size, site)
+        else:
+            self.skipped_accesses += 1
+            self._check_only(tid, addr, size, site, is_write=False)
+
+    def on_write(self, tid, addr, size, site=0):
+        if self._sampling(tid):
+            self.sampled_accesses += 1
+            self.inner.on_write(tid, addr, size, site)
+        else:
+            self.skipped_accesses += 1
+            self._check_only(tid, addr, size, site, is_write=True)

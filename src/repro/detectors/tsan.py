@@ -1,0 +1,192 @@
+"""ThreadSanitizer-v2-style shadow-cell detection (paper §VI).
+
+The paper cites ThreadSanitizer [24] as the practitioners' hybrid; the
+*modern* TSan (v2, the LLVM compiler-rt one) dropped locksets entirely
+and keeps, per 8-byte application word, a small fixed array of *shadow
+cells* — ``(epoch, thread, access-size/offset, is_write)`` — evicting
+randomly when full.  Pure happens-before via per-thread vector clocks,
+O(cells) per access, no per-location vector clock ever allocated.
+
+This detector rounds out the family between FastTrack (exact last
+access) and the Inspector stand-in (unbounded-precision history with
+locksets): fixed 4-cell history, byte-range overlap tests, and the
+characteristic TSan behaviour that an old access can be *evicted* and
+its race missed — measurable against FastTrack on the same traces.
+
+Eviction is deterministic (round-robin per cell group) so runs stay
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.detectors.base import (
+    READ_WRITE,
+    WRITE_READ,
+    WRITE_WRITE,
+    RaceReport,
+    VectorClockRuntime,
+)
+from repro.shadow.accounting import (
+    BITMAP,
+    HASH,
+    VECTOR_CLOCK,
+    MemoryModel,
+    SizeModel,
+)
+from repro.shadow.bitmap import EpochBitmap
+
+#: shadow cells per 8-byte application word (TSan's default)
+CELLS = 4
+#: modeled bytes per shadow cell (TSan packs one into 8 bytes)
+CELL_BYTES = 8
+WORD_SHIFT = 3
+
+
+class _Cell:
+    __slots__ = ("clock", "tid", "lo", "hi", "is_write", "site")
+
+    def __init__(self, clock, tid, lo, hi, is_write, site):
+        self.clock = clock
+        self.tid = tid
+        self.lo = lo      # byte offsets within the 8-byte word
+        self.hi = hi
+        self.is_write = is_write
+        self.site = site
+
+
+class TsanDetector(VectorClockRuntime):
+    """Shadow-cell happens-before detection at word granularity with
+    byte-exact overlap tests."""
+
+    name = "tsan"
+
+    def __init__(
+        self,
+        suppress: Optional[Callable[[int], bool]] = None,
+        sizes: SizeModel = SizeModel(),
+        cells: int = CELLS,
+    ):
+        super().__init__(suppress)
+        if cells < 1:
+            raise ValueError("cells must be >= 1")
+        self.cells = cells
+        self.memory = MemoryModel(sizes)
+        self.memory.add(HASH, sizes.n_buckets * sizes.bucket)
+        self._shadow: Dict[int, list] = {}  # word index -> list[_Cell]
+        self._evict_cursor: Dict[int, int] = {}
+        self._read_seen: Dict[int, EpochBitmap] = {}
+        self._write_seen: Dict[int, EpochBitmap] = {}
+        self.evictions = 0
+        self.cell_count = 0
+
+    # ------------------------------------------------------------------
+    def new_epoch(self, tid: int) -> None:
+        super().new_epoch(tid)
+        for table in (self._read_seen, self._write_seen):
+            bm = table.get(tid)
+            if bm is not None:
+                bm.reset()
+
+    def _bitmap(self, table, tid: int) -> EpochBitmap:
+        bm = table.get(tid)
+        if bm is None:
+            bm = table[tid] = EpochBitmap()
+        return bm
+
+    # ------------------------------------------------------------------
+    def _access(self, tid, addr, size, site, is_write):
+        seen = self._write_seen if is_write else self._read_seen
+        if self._bitmap(seen, tid).test_and_set(addr, size):
+            return
+        vc = self._vc(tid)
+        my_clock = vc.get(tid)
+        end = addr + size
+        word = addr >> WORD_SHIFT
+        last_word = (end - 1) >> WORD_SHIFT
+        while word <= last_word:
+            w_lo = max(addr, word << WORD_SHIFT) & 7
+            w_hi = ((min(end, (word + 1) << WORD_SHIFT) - 1) & 7) + 1
+            self._word_access(
+                tid, vc, my_clock, word, w_lo, w_hi, site, is_write
+            )
+            word += 1
+
+    def _word_access(self, tid, vc, my_clock, word, lo, hi, site, is_write):
+        cells = self._shadow.get(word)
+        if cells is None:
+            cells = self._shadow[word] = []
+        replace_idx = -1
+        for idx, cell in enumerate(cells):
+            if cell.tid == tid:
+                if cell.lo == lo and cell.hi == hi and (
+                    cell.is_write or not is_write
+                ):
+                    replace_idx = idx  # same thread, same range: refresh
+                continue
+            if cell.hi <= lo or cell.lo >= hi:
+                continue  # no byte overlap
+            if not (is_write or cell.is_write):
+                continue  # read-read
+            if cell.clock <= vc.get(cell.tid):
+                continue  # ordered
+            kind = (
+                WRITE_WRITE if (is_write and cell.is_write)
+                else READ_WRITE if is_write
+                else WRITE_READ
+            )
+            self.report(
+                RaceReport(
+                    (word << WORD_SHIFT) + lo, kind, tid, site,
+                    cell.tid, cell.site,
+                )
+            )
+        new_cell = _Cell(my_clock, tid, lo, hi, is_write, site)
+        if replace_idx >= 0:
+            cells[replace_idx] = new_cell
+        elif len(cells) < self.cells:
+            cells.append(new_cell)
+            self.cell_count += 1
+            self.memory.add(VECTOR_CLOCK, CELL_BYTES)
+        else:
+            # Deterministic round-robin eviction (TSan evicts randomly).
+            cursor = self._evict_cursor.get(word, 0)
+            cells[cursor] = new_cell
+            self._evict_cursor[word] = (cursor + 1) % self.cells
+            self.evictions += 1
+
+    def on_read(self, tid, addr, size, site=0):
+        self._access(tid, addr, size, site, is_write=False)
+
+    def on_write(self, tid, addr, size, site=0):
+        self._access(tid, addr, size, site, is_write=True)
+
+    # ------------------------------------------------------------------
+    def on_free(self, tid, addr, size):
+        first = addr >> WORD_SHIFT
+        last = (addr + size - 1) >> WORD_SHIFT
+        for word in range(first, last + 1):
+            cells = self._shadow.pop(word, None)
+            if cells:
+                self.cell_count -= len(cells)
+                self.memory.sub(VECTOR_CLOCK, len(cells) * CELL_BYTES)
+            self._evict_cursor.pop(word, None)
+
+    def finish(self):
+        sz = self.memory.sizes
+        pages = sum(
+            bm.pages_touched_peak
+            for bm in list(self._read_seen.values())
+            + list(self._write_seen.values())
+        )
+        self.memory.add(BITMAP, pages * sz.bitmap_page)
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "shadow_words": len(self._shadow),
+            "cells": self.cell_count,
+            "evictions": self.evictions,
+            "threads": self.n_threads,
+            "memory": self.memory.snapshot(),
+        }

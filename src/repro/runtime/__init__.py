@@ -1,0 +1,48 @@
+"""Execution substrate replacing Intel PIN + native pthreads programs.
+
+A *program* is a set of thread bodies written in a small DSL
+(:mod:`repro.runtime.program`).  A deterministic, seeded scheduler
+(:mod:`repro.runtime.scheduler`) interleaves them into an *event trace* —
+the same stream of (op, tid, addr, size, site) callbacks a PIN tool
+would observe.  The replay VM (:mod:`repro.runtime.vm`) feeds a trace to
+any detector and measures instrumented vs. bare replay cost.
+"""
+
+from repro.runtime.events import (
+    ACQUIRE,
+    ALLOC,
+    FORK,
+    FREE,
+    JOIN,
+    OP_NAMES,
+    READ,
+    RELEASE,
+    WRITE,
+    Event,
+)
+from repro.runtime.program import Program, ops
+from repro.runtime.scheduler import Scheduler, SchedulerError
+from repro.runtime.trace import Trace
+from repro.runtime.vm import ReplayResult, bare_replay, replay, run_program
+
+__all__ = [
+    "READ",
+    "WRITE",
+    "ACQUIRE",
+    "RELEASE",
+    "FORK",
+    "JOIN",
+    "ALLOC",
+    "FREE",
+    "OP_NAMES",
+    "Event",
+    "Program",
+    "ops",
+    "Scheduler",
+    "SchedulerError",
+    "Trace",
+    "replay",
+    "bare_replay",
+    "run_program",
+    "ReplayResult",
+]

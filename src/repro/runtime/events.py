@@ -1,0 +1,68 @@
+"""Event model: the callback stream detectors consume.
+
+Every event is a plain 5-tuple ``(op, tid, addr, size, site)`` — tuples
+keep the replay loop allocation-light at millions of events per trace.
+
+========= ======================= ==========================
+op        addr                    size
+========= ======================= ==========================
+READ      byte address            access width in bytes
+WRITE     byte address            access width in bytes
+ACQUIRE   sync object id          1 if a mutex, 0 if ordering-only
+RELEASE   sync object id          1 if a mutex, 0 if ordering-only
+FORK      child thread id         0
+JOIN      joined thread id        0
+ALLOC     block base address      block size in bytes
+FREE      block base address      block size in bytes
+========= ======================= ==========================
+
+``site`` is a static instruction-point surrogate (an integer chosen by
+the workload); race reports carry it the way PIN-based tools carry the
+faulting instruction address.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+READ = 0
+WRITE = 1
+ACQUIRE = 2
+RELEASE = 3
+FORK = 4
+JOIN = 5
+ALLOC = 6
+FREE = 7
+
+OP_NAMES = ("read", "write", "acquire", "release", "fork", "join", "alloc", "free")
+
+
+class Event(NamedTuple):
+    """A structured view of an event tuple (used at API boundaries only;
+    the hot replay loop works on raw tuples)."""
+
+    op: int
+    tid: int
+    addr: int
+    size: int
+    site: int
+
+    @property
+    def op_name(self) -> str:
+        return OP_NAMES[self.op]
+
+    def __str__(self) -> str:
+        return (
+            f"T{self.tid} {self.op_name}(addr=0x{self.addr:x}, "
+            f"size={self.size}, site={self.site})"
+        )
+
+
+def is_access(op: int) -> bool:
+    """True for memory accesses (the events granularity applies to)."""
+    return op == READ or op == WRITE
+
+
+def is_sync(op: int) -> bool:
+    """True for events that create happens-before edges."""
+    return ACQUIRE <= op <= JOIN

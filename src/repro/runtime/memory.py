@@ -1,0 +1,80 @@
+"""Virtual heap: the address space behind ``alloc``/``free`` requests.
+
+A bump allocator with size-class free lists — enough to give workloads
+realistic address reuse (freed blocks are handed out again, so shadow
+state from a previous lifetime must be cleared on ``free``, exactly the
+situation the paper's detectors handle in their ``free()`` hook) and to
+account allocation churn (dedup's 14 GB of traffic vs. ~1.7 GB average).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class HeapError(RuntimeError):
+    """Raised on invalid heap usage (double free, unknown address)."""
+
+
+class VirtualHeap:
+    """Bump allocator with per-size free lists over a virtual address range."""
+
+    #: Block alignment — matches common malloc alignment so that "word
+    #: aligned" access patterns behave as they would natively.
+    ALIGN = 16
+
+    def __init__(self, base: int = 0x4000_0000):
+        self.base = base
+        self._brk = base
+        self._free: Dict[int, List[int]] = {}
+        self._live: Dict[int, int] = {}  # addr -> size
+        # Statistics (drive the dedup-style churn analysis).
+        self.total_allocated = 0
+        self.alloc_count = 0
+        self.free_count = 0
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+
+    def _rounded(self, size: int) -> int:
+        a = self.ALIGN
+        return (max(size, 1) + a - 1) // a * a
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; reuses a freed block of the same class."""
+        if size < 0:
+            raise HeapError(f"negative allocation size {size}")
+        rounded = self._rounded(size)
+        bucket = self._free.get(rounded)
+        if bucket:
+            addr = bucket.pop()
+        else:
+            addr = self._brk
+            self._brk += rounded
+        self._live[addr] = rounded
+        self.total_allocated += rounded
+        self.alloc_count += 1
+        self.live_bytes += rounded
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
+        return addr
+
+    def free(self, addr: int) -> int:
+        """Free a live block; returns its (rounded) size."""
+        size = self._live.pop(addr, None)
+        if size is None:
+            raise HeapError(f"free of unallocated address 0x{addr:x}")
+        self._free.setdefault(size, []).append(addr)
+        self.free_count += 1
+        self.live_bytes -= size
+        return size
+
+    def is_live(self, addr: int) -> bool:
+        """True if ``addr`` is the base of a currently-allocated block."""
+        return addr in self._live
+
+    def block_size(self, addr: int) -> int:
+        """Rounded size of the live block at ``addr``."""
+        try:
+            return self._live[addr]
+        except KeyError:
+            raise HeapError(f"0x{addr:x} is not a live block") from None

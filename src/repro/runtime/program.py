@@ -1,0 +1,252 @@
+"""Threaded-program DSL.
+
+Thread bodies are generator functions (or plain iterables) that *yield
+requests* — small tuples built by the :data:`ops` helpers — to the
+scheduler, which turns them into trace events.  Requests that produce a
+value (``alloc``, ``fork``) deliver it as the result of the ``yield``::
+
+    def worker():
+        buf = yield ops.alloc(64)
+        yield ops.acquire(LOCK)
+        yield ops.write(buf, 4)
+        yield ops.release(LOCK)
+        yield ops.free(buf, 64)
+
+    def main():
+        t = yield ops.fork(worker)
+        yield ops.join(t)
+
+    program = Program(main)
+
+This mirrors how a PIN tool sees a pthreads program: memory accesses,
+lock operations, thread creation and heap traffic, in program order per
+thread.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.runtime.events import (
+    ACQUIRE,
+    ALLOC,
+    FORK,
+    FREE,
+    JOIN,
+    READ,
+    RELEASE,
+    WRITE,
+)
+
+# Pseudo-requests the scheduler desugars into ACQUIRE/RELEASE events on
+# the underlying sync object (see repro.runtime.sync for the semantics).
+BARRIER = 8
+SEM_P = 9
+SEM_V = 10
+COND_WAIT = 11
+COND_SIGNAL = 12
+COND_BROADCAST = 13
+RD_ACQUIRE = 14
+RD_RELEASE = 15
+WR_ACQUIRE = 16
+WR_RELEASE = 17
+
+#: Base address of the "global data segment" workloads may use for
+#: statically-allocated shared state; the heap allocates above HEAP_BASE.
+GLOBAL_BASE = 0x1000_0000
+HEAP_BASE = 0x4000_0000
+
+
+class ops:
+    """Request constructors for thread bodies (PIN-callback vocabulary)."""
+
+    @staticmethod
+    def read(addr: int, size: int = 4, site: int = 0):
+        """Read ``size`` bytes at ``addr``."""
+        return (READ, addr, size, site)
+
+    @staticmethod
+    def write(addr: int, size: int = 4, site: int = 0):
+        """Write ``size`` bytes at ``addr``."""
+        return (WRITE, addr, size, site)
+
+    @staticmethod
+    def acquire(lock: int, site: int = 0):
+        """Acquire a mutex (blocks while held by another thread)."""
+        return (ACQUIRE, lock, 0, site)
+
+    @staticmethod
+    def release(lock: int, site: int = 0):
+        """Release a held mutex."""
+        return (RELEASE, lock, 0, site)
+
+    @staticmethod
+    def fork(body: "ThreadBody", site: int = 0):
+        """Spawn a thread running ``body``; yields the child tid."""
+        return (FORK, body, 0, site)
+
+    @staticmethod
+    def join(tid: int, site: int = 0):
+        """Block until thread ``tid`` finishes."""
+        return (JOIN, tid, 0, site)
+
+    @staticmethod
+    def alloc(size: int, site: int = 0):
+        """Heap-allocate ``size`` bytes; yields the block address."""
+        return (ALLOC, size, 0, site)
+
+    @staticmethod
+    def free(addr: int, size: int, site: int = 0):
+        """Free a heap block previously returned by :meth:`alloc`."""
+        return (FREE, addr, size, site)
+
+    @staticmethod
+    def barrier(bar: int, parties: int, site: int = 0):
+        """Wait at barrier ``bar`` until ``parties`` threads arrive."""
+        return (BARRIER, bar, parties, site)
+
+    @staticmethod
+    def sem_p(sem: int, site: int = 0):
+        """Semaphore P/wait (blocks while the count is zero)."""
+        return (SEM_P, sem, 0, site)
+
+    @staticmethod
+    def sem_v(sem: int, site: int = 0):
+        """Semaphore V/post."""
+        return (SEM_V, sem, 0, site)
+
+    @staticmethod
+    def cond_wait(cv: int, mutex: int, site: int = 0):
+        """Condition wait: releases ``mutex``, blocks until signalled,
+        re-acquires ``mutex`` before resuming."""
+        return (COND_WAIT, cv, mutex, site)
+
+    @staticmethod
+    def cond_signal(cv: int, site: int = 0):
+        """Wake one waiter on ``cv`` (no-op if none are waiting)."""
+        return (COND_SIGNAL, cv, 0, site)
+
+    @staticmethod
+    def cond_broadcast(cv: int, site: int = 0):
+        """Wake every waiter on ``cv``."""
+        return (COND_BROADCAST, cv, 0, site)
+
+    @staticmethod
+    def rd_acquire(rw: int, site: int = 0):
+        """Acquire a reader-writer lock for reading (shared)."""
+        return (RD_ACQUIRE, rw, 0, site)
+
+    @staticmethod
+    def rd_release(rw: int, site: int = 0):
+        """Release a read hold on a reader-writer lock."""
+        return (RD_RELEASE, rw, 0, site)
+
+    @staticmethod
+    def wr_acquire(rw: int, site: int = 0):
+        """Acquire a reader-writer lock for writing (exclusive)."""
+        return (WR_ACQUIRE, rw, 0, site)
+
+    @staticmethod
+    def wr_release(rw: int, site: int = 0):
+        """Release a write hold on a reader-writer lock."""
+        return (WR_RELEASE, rw, 0, site)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def locked(lock: int, body: Iterable[tuple], site: int = 0):
+        """Yield ``body`` bracketed by acquire/release of ``lock``."""
+        yield ops.acquire(lock, site)
+        for req in body:
+            yield req
+        yield ops.release(lock, site)
+
+
+ThreadBody = Union[Callable[[], Iterator[tuple]], Iterable[tuple]]
+
+
+class SyncNamespace:
+    """Allocates distinct sync-object ids (mutexes, barriers, ...).
+
+    All sync objects share one id space, mirroring how detectors key
+    their per-object vector clocks.
+    """
+
+    def __init__(self, start: int = 1):
+        self._next = start
+
+    def new(self, count: int = 1):
+        """Reserve ``count`` fresh ids; returns the first (or a list)."""
+        base = self._next
+        self._next += count
+        if count == 1:
+            return base
+        return list(range(base, base + count))
+
+    # Aliases that make workload code self-documenting.
+    lock = new
+    barrier = new
+    semaphore = new
+    condvar = new
+
+    def rwlock(self) -> int:
+        """Reserve a reader-writer lock.
+
+        RW locks consume two sync ids: the base id carries the
+        writer-side clock (readers acquire it to see prior writes), the
+        id right after carries the reader-side clock (writers acquire
+        it to see prior reads).  Only the base id is exposed.
+        """
+        return self.new(2)[0]
+
+
+class Program:
+    """A multithreaded program: a main thread body plus metadata."""
+
+    def __init__(self, main: ThreadBody, name: str = "program"):
+        self.main = main
+        self.name = name
+
+    @classmethod
+    def from_threads(
+        cls,
+        bodies: Sequence[ThreadBody],
+        name: str = "program",
+        setup: Optional[Iterable[tuple]] = None,
+        teardown: Optional[Iterable[tuple]] = None,
+    ) -> "Program":
+        """The common fork-join shape: main runs ``setup``, forks every
+        body, joins them all, then runs ``teardown``."""
+        setup_ops: List[tuple] = list(setup) if setup is not None else []
+        teardown_ops: List[tuple] = list(teardown) if teardown is not None else []
+
+        def main():
+            for req in setup_ops:
+                yield req
+            tids = []
+            for body in bodies:
+                tids.append((yield ops.fork(body)))
+            for tid in tids:
+                yield ops.join(tid)
+            for req in teardown_ops:
+                yield req
+
+        return cls(main, name=name)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r})"
+
+
+def as_iterator(body: ThreadBody) -> Iterator[tuple]:
+    """Normalize a thread body (callable or iterable) to a generator
+    (the scheduler drives bodies with ``send``)."""
+    if callable(body):
+        it = body()
+        if hasattr(it, "send"):
+            return it
+        body = it  # a callable returning a plain iterable
+
+    def _gen():
+        for req in body:
+            yield req
+
+    return _gen()

@@ -1,0 +1,386 @@
+"""Deterministic, seeded thread interleaving.
+
+The scheduler advances one thread at a time for a random quantum of
+requests (both draws come from a seeded PRNG, so the same seed always
+yields the same trace), handling blocking on mutexes, joins, barriers,
+semaphores and condition variables.  The output is the flat event trace
+detectors replay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.events import (
+    ACQUIRE,
+    ALLOC,
+    FORK,
+    FREE,
+    JOIN,
+    READ,
+    RELEASE,
+    WRITE,
+)
+from repro.runtime.memory import VirtualHeap
+from repro.runtime.program import (
+    BARRIER,
+    COND_BROADCAST,
+    COND_SIGNAL,
+    COND_WAIT,
+    RD_ACQUIRE,
+    RD_RELEASE,
+    SEM_P,
+    SEM_V,
+    WR_ACQUIRE,
+    WR_RELEASE,
+    Program,
+    as_iterator,
+)
+from repro.runtime.sync import SyncTable
+from repro.runtime.trace import Trace
+
+RUNNABLE = 0
+BLOCKED = 1
+FINISHED = 2
+
+
+class SchedulerError(RuntimeError):
+    """Raised on deadlock or on a request the scheduler cannot satisfy."""
+
+
+class _Thread:
+    __slots__ = ("tid", "it", "state", "send_value", "blocked_on")
+
+    def __init__(self, tid: int, it):
+        self.tid = tid
+        self.it = it
+        self.state = RUNNABLE
+        self.send_value = None  # value delivered to the next yield
+        self.blocked_on: Optional[Tuple] = None
+
+
+class Scheduler:
+    """Interleaves a :class:`Program`'s threads into an event trace.
+
+    Parameters
+    ----------
+    seed:
+        PRNG seed; equal seeds produce byte-identical traces.
+    quantum:
+        ``(lo, hi)`` range of consecutive requests a thread executes
+        before a switch point.  Larger quanta mean longer epochs between
+        observed interleavings, mimicking coarse OS scheduling.
+    policy:
+        ``"random"`` (default) picks a uniformly random runnable thread
+        at each switch point.  ``"pct"`` implements Probabilistic
+        Concurrency Testing (Burckhardt et al., ASPLOS'10): threads get
+        random strict priorities, the highest-priority runnable thread
+        always runs, and the running thread's priority is demoted at
+        ``depth - 1`` randomly chosen steps — finding a bug of ordering
+        depth d with provable probability.  Used by the schedule fuzzer
+        to surface rare interleavings.
+    depth:
+        PCT bug depth (number of ordering constraints to hit); ignored
+        for the random policy.
+    expected_length:
+        PCT's estimate of the trace length, from which demotion points
+        are drawn; ignored for the random policy.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        quantum: Tuple[int, int] = (1, 48),
+        policy: str = "random",
+        depth: int = 3,
+        expected_length: int = 2000,
+    ):
+        if quantum[0] < 1 or quantum[1] < quantum[0]:
+            raise ValueError(f"invalid quantum range {quantum}")
+        if policy not in ("random", "pct"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.seed = seed
+        self.quantum = quantum
+        self.policy = policy
+        self.depth = depth
+        self.expected_length = expected_length
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program, max_events: Optional[int] = None) -> Trace:
+        """Execute ``program`` to completion and return its trace."""
+        rng = random.Random(self.seed)
+        heap = VirtualHeap()
+        syncs = SyncTable()
+        events: List[tuple] = []
+        append = events.append
+
+        threads: Dict[int, _Thread] = {}
+        joiners: Dict[int, List[int]] = {}  # finished-tid -> waiting tids
+        next_tid = 0
+
+        def spawn(body) -> _Thread:
+            nonlocal next_tid
+            t = _Thread(next_tid, as_iterator(body))
+            next_tid += 1
+            threads[t.tid] = t
+            return t
+
+        def wake(t: _Thread) -> None:
+            t.state = RUNNABLE
+            t.blocked_on = None
+
+        def grant_mutex(woken_tid: int, sid: int, site: int) -> None:
+            """A blocked thread was handed the mutex: log its acquire."""
+            t = threads[woken_tid]
+            append((ACQUIRE, woken_tid, sid, 1, site))
+            reason = t.blocked_on
+            if reason and reason[0] == "cond-mutex":
+                pass  # it was re-acquiring after a cond wait
+            wake(t)
+
+        def finish(t: _Thread) -> None:
+            t.state = FINISHED
+            for jt in joiners.pop(t.tid, []):
+                append((JOIN, jt, t.tid, 0, 0))
+                wake(threads[jt])
+
+        main = spawn(program.main)
+        assert main.tid == 0
+
+        # PCT state: random strict priorities per thread, demotion
+        # points drawn uniformly over the expected trace length.
+        pct = self.policy == "pct"
+        priorities: Dict[int, float] = {0: rng.random()}
+        demote_at = (
+            sorted(
+                rng.randrange(1, max(self.expected_length, 2))
+                for _ in range(self.depth - 1)
+            )
+            if pct
+            else []
+        )
+        steps = 0
+
+        while True:
+            runnable = [
+                tid for tid, t in threads.items() if t.state == RUNNABLE
+            ]
+            if not runnable:
+                if all(t.state == FINISHED for t in threads.values()):
+                    break
+                blocked = {
+                    t.tid: t.blocked_on
+                    for t in threads.values()
+                    if t.state == BLOCKED
+                }
+                raise SchedulerError(f"deadlock: blocked threads {blocked}")
+            if pct:
+                for tid in runnable:
+                    if tid not in priorities:
+                        priorities[tid] = rng.random()
+                chosen = max(runnable, key=lambda tid: priorities[tid])
+                t = threads[chosen]
+                budget = 1
+                steps += 1
+                if demote_at and steps >= demote_at[0]:
+                    demote_at.pop(0)
+                    # Demote below every current priority.
+                    priorities[chosen] = min(priorities.values()) - 1.0
+            else:
+                t = threads[rng.choice(runnable)]
+                budget = rng.randint(*self.quantum)
+
+            while budget > 0 and t.state == RUNNABLE:
+                budget -= 1
+                try:
+                    req = t.it.send(t.send_value)
+                except StopIteration:
+                    finish(t)
+                    break
+                t.send_value = None
+                code = req[0]
+                tid = t.tid
+
+                if code == READ or code == WRITE:
+                    append((code, tid, req[1], req[2], req[3]))
+
+                elif code == ACQUIRE:
+                    sid, site = req[1], req[3]
+                    if syncs.mutex(sid).try_acquire(tid):
+                        append((ACQUIRE, tid, sid, 1, site))
+                    else:
+                        t.state = BLOCKED
+                        t.blocked_on = ("mutex", sid, site)
+
+                elif code == RELEASE:
+                    sid, site = req[1], req[3]
+                    syncs.mutex(sid).release(tid)  # raises on misuse
+                    append((RELEASE, tid, sid, 1, site))
+                    # Hand-off: the mutex object already assigned the new
+                    # owner inside release(); find and wake them.
+                    owner = syncs.mutex(sid).owner
+                    if owner is not None and owner != tid:
+                        wt = threads[owner]
+                        if wt.state == BLOCKED:
+                            grant_mutex(owner, sid, wt.blocked_on[2])
+
+                elif code == FORK:
+                    child = spawn(req[1])
+                    append((FORK, tid, child.tid, 0, req[3]))
+                    t.send_value = child.tid
+
+                elif code == JOIN:
+                    target = req[1]
+                    tt = threads.get(target)
+                    if tt is None:
+                        raise SchedulerError(
+                            f"thread {tid} joined unknown thread {target}"
+                        )
+                    if tt.state == FINISHED:
+                        append((JOIN, tid, target, 0, req[3]))
+                    else:
+                        joiners.setdefault(target, []).append(tid)
+                        t.state = BLOCKED
+                        t.blocked_on = ("join", target)
+
+                elif code == ALLOC:
+                    addr = heap.alloc(req[1])
+                    append((ALLOC, tid, addr, req[1], req[3]))
+                    t.send_value = addr
+
+                elif code == FREE:
+                    heap.free(req[1])  # raises on double free
+                    append((FREE, tid, req[1], req[2], req[3]))
+
+                elif code == BARRIER:
+                    sid, parties, site = req[1], req[2], req[3]
+                    append((RELEASE, tid, sid, 0, site))
+                    woken = syncs.barrier(sid, parties).arrive(tid)
+                    if woken is None:
+                        t.state = BLOCKED
+                        t.blocked_on = ("barrier", sid)
+                    else:
+                        for wtid in woken:
+                            append((ACQUIRE, wtid, sid, 0, site))
+                            if wtid != tid:
+                                wake(threads[wtid])
+
+                elif code == SEM_P:
+                    sid, site = req[1], req[3]
+                    if syncs.semaphore(sid).try_p(tid):
+                        append((ACQUIRE, tid, sid, 0, site))
+                    else:
+                        t.state = BLOCKED
+                        t.blocked_on = ("sem", sid, site)
+
+                elif code == SEM_V:
+                    sid, site = req[1], req[3]
+                    append((RELEASE, tid, sid, 0, site))
+                    woken_tid = syncs.semaphore(sid).v()
+                    if woken_tid is not None:
+                        wt = threads[woken_tid]
+                        append((ACQUIRE, woken_tid, sid, 0, wt.blocked_on[2]))
+                        wake(wt)
+
+                elif code == RD_ACQUIRE:
+                    sid, site = req[1], req[3]
+                    if syncs.rwlock(sid).try_read(tid):
+                        # reader side: join the writer clock (base id)
+                        append((ACQUIRE, tid, sid, 0, site))
+                    else:
+                        t.state = BLOCKED
+                        t.blocked_on = ("rdlock", sid, site)
+
+                elif code == RD_RELEASE:
+                    sid, site = req[1], req[3]
+                    woken = syncs.rwlock(sid).release_read(tid)
+                    # publish this reader into the reader-side clock
+                    append((RELEASE, tid, sid + 1, 0, site))
+                    for wtid in woken:  # a writer got the lock
+                        wt = threads[wtid]
+                        wsite = wt.blocked_on[2]
+                        append((ACQUIRE, wtid, sid, 1, wsite))
+                        append((ACQUIRE, wtid, sid + 1, 0, wsite))
+                        wake(wt)
+
+                elif code == WR_ACQUIRE:
+                    sid, site = req[1], req[3]
+                    if syncs.rwlock(sid).try_write(tid):
+                        # writer joins both prior writers and readers
+                        append((ACQUIRE, tid, sid, 1, site))
+                        append((ACQUIRE, tid, sid + 1, 0, site))
+                    else:
+                        t.state = BLOCKED
+                        t.blocked_on = ("wrlock", sid, site)
+
+                elif code == WR_RELEASE:
+                    sid, site = req[1], req[3]
+                    woken = syncs.rwlock(sid).release_write(tid)
+                    append((RELEASE, tid, sid, 1, site))
+                    rw = syncs.rwlock(sid)
+                    for wtid in woken:
+                        wt = threads[wtid]
+                        wsite = wt.blocked_on[2]
+                        if rw.writer == wtid:  # next writer
+                            append((ACQUIRE, wtid, sid, 1, wsite))
+                            append((ACQUIRE, wtid, sid + 1, 0, wsite))
+                        else:  # a batch of readers
+                            append((ACQUIRE, wtid, sid, 0, wsite))
+                        wake(wt)
+
+                elif code == COND_WAIT:
+                    cv, mx, site = req[1], req[2], req[3]
+                    syncs.mutex(mx).release(tid)
+                    append((RELEASE, tid, mx, 1, site))
+                    owner = syncs.mutex(mx).owner
+                    if owner is not None and owner != tid:
+                        wt = threads[owner]
+                        if wt.state == BLOCKED:
+                            grant_mutex(owner, mx, wt.blocked_on[2])
+                    syncs.condvar(cv).wait(tid)
+                    t.state = BLOCKED
+                    t.blocked_on = ("cond", cv, mx, site)
+
+                elif code == COND_SIGNAL or code == COND_BROADCAST:
+                    cv, site = req[1], req[3]
+                    append((RELEASE, tid, cv, 0, site))
+                    cvo = syncs.condvar(cv)
+                    woken = (
+                        cvo.signal() if code == COND_SIGNAL else cvo.broadcast()
+                    )
+                    for wtid in woken:
+                        wt = threads[wtid]
+                        _, _, mx, wsite = wt.blocked_on
+                        append((ACQUIRE, wtid, cv, 0, wsite))
+                        # Re-acquire the mutex before the waiter resumes.
+                        if syncs.mutex(mx).try_acquire(wtid):
+                            append((ACQUIRE, wtid, mx, 1, wsite))
+                            wake(wt)
+                        else:
+                            wt.blocked_on = ("cond-mutex", mx, wsite)
+
+                else:
+                    raise SchedulerError(f"unknown request code {code}")
+
+                if max_events is not None and len(events) >= max_events:
+                    return self._finalize(program, events, next_tid, heap)
+
+        return self._finalize(program, events, next_tid, heap)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _finalize(program, events, n_threads, heap) -> Trace:
+        return Trace(
+            events,
+            name=program.name,
+            n_threads=n_threads,
+            heap_stats={
+                "total_allocated": heap.total_allocated,
+                "alloc_count": heap.alloc_count,
+                "free_count": heap.free_count,
+                "peak_live_bytes": heap.peak_live_bytes,
+            },
+        )

@@ -1,0 +1,222 @@
+"""Runtime state of synchronization objects.
+
+The scheduler uses these to decide *blocking* (who may run); the
+happens-before semantics detectors see are conveyed purely through the
+ACQUIRE/RELEASE events emitted on the object's id:
+
+* mutex — acquire/release in the usual way.
+* barrier — every arrival emits RELEASE(bar); once full, departures emit
+  ACQUIRE(bar).  Because all releases join the barrier's clock before any
+  acquire reads it, every departing thread happens-after every arrival.
+* semaphore — V emits RELEASE(sem), P emits ACQUIRE(sem).  As in real
+  tools this over-synchronizes slightly (a P happens-after *all* earlier
+  Vs, not just the one whose token it took); that is the standard sound
+  treatment.
+* condvar — signal/broadcast emit RELEASE(cv); a woken waiter emits
+  ACQUIRE(cv), then re-acquires its mutex.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class SyncError(RuntimeError):
+    """Raised on synchronization misuse (e.g. unlock of an unheld mutex)."""
+
+
+class Mutex:
+    """A non-recursive mutex with a FIFO wait queue."""
+
+    __slots__ = ("owner", "waiters")
+
+    def __init__(self):
+        self.owner: Optional[int] = None
+        self.waiters: Deque[int] = deque()
+
+    def try_acquire(self, tid: int) -> bool:
+        if self.owner is None:
+            self.owner = tid
+            return True
+        if self.owner == tid:
+            raise SyncError(f"thread {tid} re-acquired a non-recursive mutex")
+        self.waiters.append(tid)
+        return False
+
+    def release(self, tid: int) -> Optional[int]:
+        """Release; returns the next owner to wake, if any."""
+        if self.owner != tid:
+            raise SyncError(
+                f"thread {tid} released a mutex owned by {self.owner}"
+            )
+        if self.waiters:
+            self.owner = self.waiters.popleft()
+            return self.owner
+        self.owner = None
+        return None
+
+
+class Barrier:
+    """A cyclic barrier for a fixed number of parties."""
+
+    __slots__ = ("parties", "arrived")
+
+    def __init__(self, parties: int):
+        if parties < 1:
+            raise SyncError(f"barrier needs >=1 parties, got {parties}")
+        self.parties = parties
+        self.arrived: List[int] = []
+
+    def arrive(self, tid: int) -> Optional[List[int]]:
+        """Record an arrival; when full, returns the tids to wake and
+        resets for the next cycle."""
+        self.arrived.append(tid)
+        if len(self.arrived) >= self.parties:
+            woken = self.arrived
+            self.arrived = []
+            return woken
+        return None
+
+
+class Semaphore:
+    """A counting semaphore with a FIFO wait queue."""
+
+    __slots__ = ("count", "waiters")
+
+    def __init__(self, count: int = 0):
+        if count < 0:
+            raise SyncError(f"semaphore count must be >=0, got {count}")
+        self.count = count
+        self.waiters: Deque[int] = deque()
+
+    def try_p(self, tid: int) -> bool:
+        if self.count > 0:
+            self.count -= 1
+            return True
+        self.waiters.append(tid)
+        return False
+
+    def v(self) -> Optional[int]:
+        """Post; returns a waiter to wake (who consumes the token)."""
+        if self.waiters:
+            return self.waiters.popleft()
+        self.count += 1
+        return None
+
+
+class RWLock:
+    """A reader-writer lock: shared readers XOR one exclusive writer.
+
+    Writer-preference: once a writer queues, new readers wait — the
+    usual pthread_rwlock default that avoids writer starvation.
+    """
+
+    __slots__ = ("writer", "readers", "waiting_writers", "waiting_readers")
+
+    def __init__(self):
+        self.writer: Optional[int] = None
+        self.readers: set = set()
+        self.waiting_writers: Deque[int] = deque()
+        self.waiting_readers: Deque[int] = deque()
+
+    def try_read(self, tid: int) -> bool:
+        if self.writer is None and not self.waiting_writers:
+            self.readers.add(tid)
+            return True
+        self.waiting_readers.append(tid)
+        return False
+
+    def try_write(self, tid: int) -> bool:
+        if self.writer is None and not self.readers:
+            self.writer = tid
+            return True
+        self.waiting_writers.append(tid)
+        return False
+
+    def release_read(self, tid: int) -> List[int]:
+        """Returns writers to wake (at most one)."""
+        if tid not in self.readers:
+            raise SyncError(f"thread {tid} released a read lock it lacks")
+        self.readers.discard(tid)
+        if not self.readers and self.waiting_writers:
+            w = self.waiting_writers.popleft()
+            self.writer = w
+            return [w]
+        return []
+
+    def release_write(self, tid: int) -> List[int]:
+        """Returns threads to wake: the next writer, or all readers."""
+        if self.writer != tid:
+            raise SyncError(
+                f"thread {tid} released a write lock owned by {self.writer}"
+            )
+        self.writer = None
+        if self.waiting_writers:
+            w = self.waiting_writers.popleft()
+            self.writer = w
+            return [w]
+        woken = list(self.waiting_readers)
+        self.waiting_readers.clear()
+        self.readers.update(woken)
+        return woken
+
+
+class CondVar:
+    """A condition variable; waiters remember the mutex to re-acquire."""
+
+    __slots__ = ("waiters",)
+
+    def __init__(self):
+        self.waiters: Deque[int] = deque()  # tids in wait order
+
+    def wait(self, tid: int) -> None:
+        self.waiters.append(tid)
+
+    def signal(self) -> List[int]:
+        if self.waiters:
+            return [self.waiters.popleft()]
+        return []
+
+    def broadcast(self) -> List[int]:
+        woken = list(self.waiters)
+        self.waiters.clear()
+        return woken
+
+
+class SyncTable:
+    """Lazily-created sync objects keyed by id.
+
+    An id is bound to a kind on first use; using the same id as two
+    different kinds is an error (it would corrupt blocking semantics).
+    """
+
+    def __init__(self):
+        self._objs: Dict[int, object] = {}
+
+    def _get(self, sid: int, cls, *args):
+        obj = self._objs.get(sid)
+        if obj is None:
+            obj = cls(*args)
+            self._objs[sid] = obj
+        elif not isinstance(obj, cls):
+            raise SyncError(
+                f"sync id {sid} used as {cls.__name__} but is "
+                f"{type(obj).__name__}"
+            )
+        return obj
+
+    def mutex(self, sid: int) -> Mutex:
+        return self._get(sid, Mutex)
+
+    def barrier(self, sid: int, parties: int) -> Barrier:
+        return self._get(sid, Barrier, parties)
+
+    def semaphore(self, sid: int) -> Semaphore:
+        return self._get(sid, Semaphore)
+
+    def condvar(self, sid: int) -> CondVar:
+        return self._get(sid, CondVar)
+
+    def rwlock(self, sid: int) -> RWLock:
+        return self._get(sid, RWLock)

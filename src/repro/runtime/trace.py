@@ -1,0 +1,113 @@
+"""Event traces: the unit of replay, comparison and serialization.
+
+A trace is materialized once per (workload, seed) and replayed against
+every detector under test, so all detectors see exactly the same
+interleaving — the property that makes per-detector comparisons fair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.runtime.events import ACQUIRE, JOIN, OP_NAMES, WRITE, Event
+
+
+class Trace:
+    """An ordered list of event tuples plus run metadata."""
+
+    def __init__(
+        self,
+        events: List[tuple],
+        name: str = "trace",
+        n_threads: int = 1,
+        heap_stats: Optional[Dict[str, int]] = None,
+    ):
+        self.events = events
+        self.name = name
+        self.n_threads = n_threads
+        self.heap_stats = heap_stats or {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.events)
+
+    def structured(self) -> Iterator[Event]:
+        """Iterate events as named tuples (for display/debugging)."""
+        for ev in self.events:
+            yield Event(*ev)
+
+    # ------------------------------------------------------------------
+    def op_counts(self) -> Dict[str, int]:
+        """Event count per operation name."""
+        counts = [0] * len(OP_NAMES)
+        for ev in self.events:
+            counts[ev[0]] += 1
+        return {OP_NAMES[i]: c for i, c in enumerate(counts) if c}
+
+    @property
+    def shared_accesses(self) -> int:
+        """Total shared reads + writes (the paper's Table 1 column)."""
+        n = 0
+        for ev in self.events:
+            if ev[0] <= WRITE:  # READ == 0, WRITE == 1
+                n += 1
+        return n
+
+    @property
+    def sync_ops(self) -> int:
+        n = 0
+        for ev in self.events:
+            if ACQUIRE <= ev[0] <= JOIN:
+                n += 1
+        return n
+
+    def touched_addresses(self) -> int:
+        """Number of distinct bytes accessed (shadow-memory footprint)."""
+        seen = set()
+        for ev in self.events:
+            if ev[0] <= WRITE:
+                base, size = ev[2], ev[3]
+                seen.update(range(base, base + size))
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # serialization (record/replay support)
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Serialize to a compressed ``.npz`` archive."""
+        arr = np.asarray(self.events, dtype=np.int64).reshape(-1, 5)
+        np.savez_compressed(
+            path,
+            events=arr,
+            name=np.asarray(self.name),
+            n_threads=np.asarray(self.n_threads),
+            heap_keys=np.asarray(list(self.heap_stats.keys())),
+            heap_vals=np.asarray(list(self.heap_stats.values()), dtype=np.int64)
+            if self.heap_stats
+            else np.zeros(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        data = np.load(path, allow_pickle=False)
+        events = [tuple(int(x) for x in row) for row in data["events"]]
+        keys = [str(k) for k in data["heap_keys"]]
+        vals = [int(v) for v in data["heap_vals"]]
+        return cls(
+            events,
+            name=str(data["name"]),
+            n_threads=int(data["n_threads"]),
+            heap_stats=dict(zip(keys, vals)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}, events={len(self.events)}, "
+            f"threads={self.n_threads})"
+        )

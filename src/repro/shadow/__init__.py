@@ -1,0 +1,13 @@
+"""Shadow memory substrate: indexing structures and memory accounting.
+
+Implements the paper's Section IV infrastructure: the chained hash table
+with growable per-entry indexing arrays (Fig. 4), the per-thread
+same-epoch bitmaps, and the object-size memory model behind the Table 2
+overhead breakdown.
+"""
+
+from repro.shadow.accounting import MemoryModel, SizeModel
+from repro.shadow.bitmap import EpochBitmap
+from repro.shadow.hash_table import ShadowTable
+
+__all__ = ["ShadowTable", "EpochBitmap", "MemoryModel", "SizeModel"]

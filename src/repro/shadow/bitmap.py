@@ -1,0 +1,107 @@
+"""Per-thread same-epoch bitmaps (paper §IV-A).
+
+Looking a location up in the global shadow table requires cross-thread
+synchronization in the native tool; the paper short-circuits repeat
+accesses within an epoch using a thread-local bitmap that is reset at
+every lock release.  We reproduce the structure (paged bitsets, one bit
+per byte address) both for the fast path and for the Table 2 "Bitmap"
+memory column.
+
+Pages are 4 KiB of address space; each page's bits live in one Python
+int, so set/test are two dict lookups plus shifts.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class EpochBitmap:
+    """A sparse bitset over byte addresses, cleared each epoch."""
+
+    __slots__ = ("_pages", "pages_touched_peak")
+
+    def __init__(self):
+        self._pages: dict = {}
+        #: most pages ever live at once (drives memory accounting)
+        self.pages_touched_peak = 0
+
+    def test_and_set(self, addr: int, size: int = 1) -> bool:
+        """Mark ``[addr, addr+size)``; True iff *all* bits were already set
+        (the access is a repeat within the current epoch)."""
+        pages = self._pages
+        page = addr >> PAGE_SHIFT
+        bit = addr & PAGE_MASK
+        if bit + size <= PAGE_SIZE:
+            mask = ((1 << size) - 1) << bit
+            cur = pages.get(page, 0)
+            if cur & mask == mask:
+                return True
+            pages[page] = cur | mask
+            if len(pages) > self.pages_touched_peak:
+                self.pages_touched_peak = len(pages)
+            return False
+        # Page-crossing access: handle per page (rare).
+        all_set = True
+        end = addr + size
+        a = addr
+        while a < end:
+            page = a >> PAGE_SHIFT
+            bit = a & PAGE_MASK
+            span = min(end - a, PAGE_SIZE - bit)
+            mask = ((1 << span) - 1) << bit
+            cur = pages.get(page, 0)
+            if cur & mask != mask:
+                all_set = False
+                pages[page] = cur | mask
+            a += span
+        if len(pages) > self.pages_touched_peak:
+            self.pages_touched_peak = len(pages)
+        return all_set
+
+    def set_range(self, addr: int, size: int) -> None:
+        """Mark ``[addr, addr+size)`` without testing.
+
+        Used by the dynamic-granularity detector to stamp a whole clock
+        group once one of its members has been checked this epoch — the
+        paper's "multiple accesses become the same epoch accesses".
+        """
+        pages = self._pages
+        end = addr + size
+        a = addr
+        while a < end:
+            page = a >> PAGE_SHIFT
+            bit = a & PAGE_MASK
+            span = min(end - a, PAGE_SIZE - bit)
+            mask = ((1 << span) - 1) << bit
+            cur = pages.get(page, 0)
+            if cur & mask != mask:
+                pages[page] = cur | mask
+            a += span
+        if len(pages) > self.pages_touched_peak:
+            self.pages_touched_peak = len(pages)
+
+    def test(self, addr: int, size: int = 1) -> bool:
+        """True iff every bit of ``[addr, addr+size)`` is set."""
+        pages = self._pages
+        end = addr + size
+        a = addr
+        while a < end:
+            page = a >> PAGE_SHIFT
+            bit = a & PAGE_MASK
+            span = min(end - a, PAGE_SIZE - bit)
+            mask = ((1 << span) - 1) << bit
+            if pages.get(page, 0) & mask != mask:
+                return False
+            a += span
+        return True
+
+    def reset(self) -> None:
+        """Start a new epoch: drop every bit."""
+        self._pages.clear()
+
+    @property
+    def live_pages(self) -> int:
+        return len(self._pages)

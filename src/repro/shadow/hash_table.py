@@ -1,0 +1,265 @@
+"""The paper's Fig. 4 indexing structure.
+
+A separate-chaining hash table maps byte addresses to shadow records.
+Each hash entry covers ``m`` consecutive addresses (default 128): the
+upper ``32 - log2(m)`` address bits select the entry, the lower
+``log2(m)`` bits index into the entry's pointer array.
+
+Entries are created with ``m/4`` slots — enough for word-aligned
+accesses, the common pattern — and grow to ``m`` slots the first time a
+non-word-aligned (byte) address lands in the entry.  This is the memory
+optimisation the paper credits for the word detector's smaller index.
+
+The structure also supports the sequential operations the detectors
+need: range deletion (the ``free()`` hook) and nearest-neighbour search
+(the dynamic-granularity sharing heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+
+class ShadowTable:
+    """Address-indexed shadow store with growable per-entry index arrays."""
+
+    def __init__(self, m: int = 128, on_resize: Optional[Callable[[int, int], None]] = None):
+        if m < 4 or m & (m - 1):
+            raise ValueError(f"m must be a power of two >= 4, got {m}")
+        self.m = m
+        self._shift = m.bit_length() - 1
+        self._mask = m - 1
+        self._buckets: dict = {}
+        #: called as on_resize(old_slots, new_slots) when an entry grows
+        #: or is created/destroyed — drives incremental memory accounting.
+        self._on_resize = on_resize
+        # Counters for the memory model.
+        self.entry_count = 0
+        self.slot_count = 0
+        self.item_count = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _entry_for(self, addr: int, create: bool):
+        key = addr >> self._shift
+        entry = self._buckets.get(key)
+        if entry is None:
+            if not create:
+                return None, 0
+            small = self.m // 4
+            entry = [None] * small
+            self._buckets[key] = entry
+            self.entry_count += 1
+            self.slot_count += small
+            if self._on_resize:
+                self._on_resize(0, small)
+        low = addr & self._mask
+        if len(entry) < self.m:
+            if low & 3:
+                if not create:
+                    return None, 0
+                # Byte access: expand m/4 word slots to m byte slots.
+                grown = [None] * self.m
+                for i, v in enumerate(entry):
+                    grown[i << 2] = v
+                self._buckets[key] = entry = grown
+                self.slot_count += self.m - self.m // 4
+                if self._on_resize:
+                    self._on_resize(self.m // 4, self.m)
+            else:
+                return entry, low >> 2
+        return entry, low
+
+    # ------------------------------------------------------------------
+    # point operations
+    # ------------------------------------------------------------------
+    def get(self, addr: int):
+        """The record at ``addr`` or None.
+
+        Hand-inlined version of :meth:`_entry_for` — this is the
+        hottest call in every detector (profiled at ~25 calls per
+        access before group-jump optimisations).
+        """
+        entry = self._buckets.get(addr >> self._shift)
+        if entry is None:
+            return None
+        low = addr & self._mask
+        if len(entry) < self.m:
+            if low & 3:
+                return None
+            return entry[low >> 2]
+        return entry[low]
+
+    def set(self, addr: int, value) -> None:
+        """Store ``value`` at ``addr`` (value must not be None)."""
+        if value is None:
+            raise ValueError("use delete() to remove a record")
+        entry, idx = self._entry_for(addr, create=True)
+        if entry[idx] is None:
+            self.item_count += 1
+        entry[idx] = value
+
+    def delete(self, addr: int) -> bool:
+        """Remove the record at ``addr``; True if one was present."""
+        entry, idx = self._entry_for(addr, create=False)
+        if entry is None or entry[idx] is None:
+            return False
+        entry[idx] = None
+        self.item_count -= 1
+        return True
+
+    def __contains__(self, addr: int) -> bool:
+        return self.get(addr) is not None
+
+    def __len__(self) -> int:
+        return self.item_count
+
+    def get_run(self, lo: int, hi: int):
+        """The records for ``[lo, hi)`` as a list, or None when the
+        range is not serviceable in one slice (crosses an entry
+        boundary, or the entry is still word-indexed).
+
+        One slice operation replaces per-byte :meth:`get` calls in the
+        detectors' hottest loop.
+        """
+        key = lo >> self._shift
+        if (hi - 1) >> self._shift != key:
+            return None
+        entry = self._buckets.get(key)
+        if entry is None:
+            return [None] * (hi - lo)
+        if len(entry) < self.m:
+            return None
+        i0 = lo & self._mask
+        return entry[i0 : i0 + (hi - lo)]
+
+    # ------------------------------------------------------------------
+    # sequential operations
+    # ------------------------------------------------------------------
+    def set_range(self, lo: int, hi: int, value) -> int:
+        """Store ``value`` at every address in ``[lo, hi)``; returns how
+        many slots were previously empty.
+
+        Works entry-by-entry with slice assignment — the bulk path for
+        group creation and remapping (per-byte :meth:`set` is too slow
+        for kilobyte-sized groups).
+        """
+        if value is None:
+            raise ValueError("use delete_range() to remove records")
+        new_items = 0
+        a = lo
+        m = self.m
+        while a < hi:
+            key = a >> self._shift
+            entry_end = (key + 1) << self._shift
+            end = hi if hi < entry_end else entry_end
+            entry = self._buckets.get(key)
+            if entry is None:
+                small = m // 4
+                entry = [None] * small
+                self._buckets[key] = entry
+                self.entry_count += 1
+                self.slot_count += small
+                if self._on_resize:
+                    self._on_resize(0, small)
+            # A multi-byte run always contains unaligned addresses.
+            needs_bytes = (end - a) > 1 or (a & 3)
+            if needs_bytes and len(entry) < m:
+                grown = [None] * m
+                for i, v in enumerate(entry):
+                    grown[i << 2] = v
+                self._buckets[key] = entry = grown
+                self.slot_count += m - m // 4
+                if self._on_resize:
+                    self._on_resize(m // 4, m)
+            if len(entry) < m:  # single aligned byte on a small entry
+                idx = (a & self._mask) >> 2
+                if entry[idx] is None:
+                    new_items += 1
+                entry[idx] = value
+            else:
+                i0 = a & self._mask
+                i1 = i0 + (end - a)
+                seg = entry[i0:i1]
+                new_items += seg.count(None)
+                entry[i0:i1] = [value] * (i1 - i0)
+            a = end
+        self.item_count += new_items
+        return new_items
+
+    def delete_range(self, base: int, size: int) -> int:
+        """Drop every record in ``[base, base+size)`` (the free() hook).
+
+        Walks whole entries where possible, which is why the paper keeps
+        indexing arrays rather than one flat chain per address.
+        """
+        removed = 0
+        addr = base
+        end = base + size
+        while addr < end:
+            key = addr >> self._shift
+            entry = self._buckets.get(key)
+            entry_end = (key + 1) << self._shift
+            if entry is None:
+                addr = entry_end
+                continue
+            span_end = end if end < entry_end else entry_end
+            if len(entry) < self.m:
+                for a in range(addr, span_end):
+                    low = a & self._mask
+                    if low & 3:
+                        continue
+                    idx = low >> 2
+                    if entry[idx] is not None:
+                        entry[idx] = None
+                        removed += 1
+            else:
+                i0 = addr & self._mask
+                i1 = i0 + (span_end - addr)
+                seg = entry[i0:i1]
+                removed += len(seg) - seg.count(None)
+                entry[i0:i1] = [None] * (i1 - i0)
+            addr = entry_end
+        self.item_count -= removed
+        return removed
+
+    def items(self) -> Iterator[Tuple[int, object]]:
+        """Yield every (addr, record) pair in the table (any order)."""
+        for key, entry in self._buckets.items():
+            base = key << self._shift
+            if len(entry) < self.m:
+                for idx, rec in enumerate(entry):
+                    if rec is not None:
+                        yield base + (idx << 2), rec
+            else:
+                for idx, rec in enumerate(entry):
+                    if rec is not None:
+                        yield base + idx, rec
+
+    def items_in_range(self, base: int, size: int) -> Iterator[Tuple[int, object]]:
+        """Yield (addr, record) pairs in ``[base, base+size)`` in order."""
+        for addr in range(base, base + size):
+            rec = self.get(addr)
+            if rec is not None:
+                yield addr, rec
+
+    # ------------------------------------------------------------------
+    # neighbour search (dynamic-granularity heuristic support)
+    # ------------------------------------------------------------------
+    def predecessor(self, addr: int, limit: int = 128):
+        """Nearest (addr', record) with ``addr - limit <= addr' < addr``."""
+        lo = max(addr - limit, 0)
+        for a in range(addr - 1, lo - 1, -1):
+            rec = self.get(a)
+            if rec is not None:
+                return a, rec
+        return None
+
+    def successor(self, addr: int, limit: int = 128):
+        """Nearest (addr', record) with ``addr < addr' <= addr + limit``."""
+        for a in range(addr + 1, addr + limit + 1):
+            rec = self.get(a)
+            if rec is not None:
+                return a, rec
+        return None

@@ -1,0 +1,117 @@
+"""canneal-style workload: random element swaps, no spatial locality.
+
+Simulated annealing picks random netlist elements, so consecutive
+accesses land on unrelated cache lines — the adversarial case for the
+sharing heuristic, and indeed the paper reports no dynamic-granularity
+gains for canneal.  Most swaps take per-element locks; a small hot set
+is swapped lock-free (canneal's intentional races).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program, SyncNamespace, ops
+from repro.workloads.base import Region, Workload, array_init, make_rng
+
+THREADS = 5
+ELEM = 8
+
+
+def build(scale: float = 1.0, seed: int = 0) -> Program:
+    region = Region()
+    ns = SyncNamespace()
+    workers = THREADS - 1
+    n_elems = max(64, int(512 * scale))
+    elems = region.take(n_elems * ELEM)
+    n_locks = 64
+    locks = ns.new(n_locks)
+    hot = 4  # first `hot` elements are swapped without locks
+    swaps = max(10, int(40 * scale))
+    #: candidate evaluations per accepted swap — annealing reads many
+    #: element pairs from a local window before committing one, which
+    #: is where canneal's 97% byte same-epoch rate comes from
+    evals = 40
+    window = 3
+    rng = make_rng(seed, "canneal")
+    # Candidate moves are drawn from a per-thread partition (parallel
+    # annealing works spatially) so only the hot lock-free elements
+    # conflict across threads.
+    part = (n_elems - hot) // workers
+
+    def _part_range(idx):
+        lo = hot + idx * part
+        return lo, lo + part
+
+    plans = []
+    for idx in range(workers):
+        plo, phi = _part_range(idx)
+        plan = [
+            (rng.randrange(plo, phi), rng.randrange(plo, phi))
+            if rng.random() > 0.1
+            else (rng.randrange(0, hot), rng.randrange(plo, phi))
+            for _ in range(swaps)
+        ]
+        # Every worker touches hot element 0 once, so the intentional
+        # lock-free races manifest at any scale and seed.
+        plan[len(plan) // 2] = (0, rng.randrange(plo, phi))
+        plans.append(plan)
+
+    def addr(i: int) -> int:
+        return elems + i * ELEM
+
+    def worker(idx: int):
+        wrng = make_rng(seed, f"canneal-evals-{idx}")
+        plo, phi = _part_range(idx)
+
+        def body():
+            for a, b in plans[idx]:
+                # Candidate evaluation: repeatedly read elements from a
+                # small window of the partition before committing.
+                centre = max(plo + window, min(phi - window - 1, a))
+                for _ in range(evals):
+                    x = centre + wrng.randrange(-window, window)
+                    yield ops.read(addr(x), ELEM, site=512)
+                la, lb = locks[a % n_locks], locks[b % n_locks]
+                if a < hot:
+                    # Lock-free swap of a hot element: intentional race.
+                    yield ops.read(addr(a), ELEM, site=500)
+                    yield ops.write(addr(a), ELEM, site=501)
+                    yield ops.acquire(lb, site=502)
+                    yield ops.read(addr(b), ELEM, site=503)
+                    yield ops.write(addr(b), ELEM, site=504)
+                    yield ops.release(lb, site=502)
+                else:
+                    pair = sorted({la, lb})
+                    first, second = pair[0], pair[-1]
+                    yield ops.acquire(first, site=505)
+                    if second != first:
+                        yield ops.acquire(second, site=506)
+                    yield ops.read(addr(a), ELEM, site=507)
+                    yield ops.read(addr(b), ELEM, site=508)
+                    # Cost delta re-reads both endpoints before swapping.
+                    yield ops.read(addr(a), ELEM, site=507)
+                    yield ops.read(addr(b), ELEM, site=508)
+                    yield ops.write(addr(a), ELEM, site=509)
+                    yield ops.write(addr(b), ELEM, site=510)
+                    if second != first:
+                        yield ops.release(second, site=506)
+                    yield ops.release(first, site=505)
+        return body
+
+    def setup():
+        yield from array_init(elems, n_elems * ELEM, width=8, site=1)
+
+    return Program.from_threads(
+        [worker(i) for i in range(workers)],
+        name="canneal",
+        setup=list(setup()),
+    )
+
+
+WORKLOAD = Workload(
+    name="canneal",
+    threads=THREADS,
+    description="random locked swaps + lock-free hot elements",
+    build_fn=build,
+    seeded_race_sites=1,
+    notes="random access defeats neighbour sharing: no dynamic gain",
+)

@@ -1,0 +1,118 @@
+"""ferret-style workload: a 4-stage similarity-search pipeline.
+
+Items (heap buffers) flow through bounded queues between stages.  Each
+stage touches the whole item, so neighbouring bytes travel together —
+dynamic granularity outperforms both fixed granularities here, as the
+paper observes for ferret.  An unprotected per-stage statistics counter
+seeds one real race.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.runtime.program import Program, SyncNamespace, ops
+from repro.workloads.base import Region, Workload, array_init, array_read
+
+STAGES = 4
+PER_STAGE = 2
+THREADS = STAGES * PER_STAGE + 2  # main + source + stage threads
+ITEM = 256  # bytes per pipeline item
+
+
+class _Queue:
+    """A bounded queue: mutex-protected slots plus two semaphores.
+
+    The Python-level deque carries item addresses between generator
+    bodies; the semaphores make every pop happen-after its push, and
+    the emitted events model the queue's own memory traffic.
+    """
+
+    def __init__(self, ns: SyncNamespace, region: Region, capacity: int = 4):
+        self.lock = ns.lock()
+        self.items = ns.semaphore()
+        self.slots_sem = ns.semaphore()
+        self.capacity = capacity
+        self.slab = region.take(capacity * 8)
+        self.buf: Deque[int] = deque()
+
+    def prime(self):
+        """Fill the slot semaphore once (done by the main thread)."""
+        for _ in range(self.capacity):
+            yield ops.sem_v(self.slots_sem)
+
+    def push(self, addr: int, site: int):
+        yield ops.sem_p(self.slots_sem)
+        yield ops.acquire(self.lock, site)
+        self.buf.append(addr)
+        slot = self.slab + 8 * (len(self.buf) - 1)
+        yield ops.write(slot, 8, site)
+        yield ops.release(self.lock, site)
+        yield ops.sem_v(self.items)
+
+    def pop(self, site: int):
+        yield ops.sem_p(self.items)
+        yield ops.acquire(self.lock, site)
+        slot = self.slab + 8 * (len(self.buf) - 1)
+        yield ops.read(slot, 8, site)
+        addr = self.buf.popleft()
+        yield ops.release(self.lock, site)
+        yield ops.sem_v(self.slots_sem)
+        return addr
+
+
+def build(scale: float = 1.0, seed: int = 0) -> Program:
+    region = Region()
+    ns = SyncNamespace()
+    # Every stage thread handles an equal share, so the pipeline drains
+    # deterministically without poison pills.
+    per_thread = max(2, int(12 * scale))
+    n_items = per_thread * PER_STAGE
+    queues = [_Queue(ns, region) for _ in range(STAGES)]
+    stats = region.take(4)  # unprotected counter: the seeded race
+
+    def source():
+        def body():
+            for _ in range(n_items):
+                item = yield ops.alloc(ITEM, site=10)
+                yield from array_init(item, ITEM, width=8, site=11)
+                yield from queues[0].push(item, site=12)
+        return body
+
+    def stage(k: int):
+        def body():
+            for _ in range(per_thread):
+                item = yield from queues[k].pop(site=20 + k)
+                # Feature extraction scans the item twice (real stages
+                # re-walk their input), giving within-epoch reuse.
+                yield from array_read(item, ITEM, width=8, site=30 + k)
+                yield from array_read(item, ITEM, width=8, site=31 + k)
+                yield ops.write(item + 8 * k, 8, site=40 + k)
+                # Unprotected shared statistics counter (the race).
+                yield ops.read(stats, 4, site=900 + k)
+                yield ops.write(stats, 4, site=910 + k)
+                if k + 1 < STAGES:
+                    yield from queues[k + 1].push(item, site=50 + k)
+                else:
+                    yield ops.free(item, ITEM, site=60)
+        return body
+
+    def setup():
+        for q in queues:
+            yield from q.prime()
+
+    bodies = [source()] + [
+        stage(k) for k in range(STAGES) for _ in range(PER_STAGE)
+    ]
+    return Program.from_threads(bodies, name="ferret", setup=list(setup()))
+
+
+WORKLOAD = Workload(
+    name="ferret",
+    threads=THREADS,
+    description="4-stage pipeline over heap items with bounded queues",
+    build_fn=build,
+    seeded_race_sites=1,
+    notes="whole-item locality: dynamic beats both fixed granularities",
+)

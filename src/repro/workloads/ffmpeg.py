@@ -1,0 +1,59 @@
+"""FFmpeg-style workload: frame worker threads with one real race.
+
+Workers encode frames in per-frame heap buffers handed out under a
+lock.  The single seeded race reproduces the paper's finding: "a data
+race by the two worker threads accessing a shared variable without
+protection" — the race DRD missed and the dynamic detector caught.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program, SyncNamespace, ops
+from repro.workloads.base import Region, Workload, array_read
+
+THREADS = 4
+FRAME = 1024
+
+
+def build(scale: float = 1.0, seed: int = 0) -> Program:
+    region = Region()
+    ns = SyncNamespace()
+    workers = THREADS - 1
+    frames_per = max(3, int(8 * scale))
+    next_pts = region.take(8)  # the unprotected shared variable
+    frame_lock = ns.lock()
+
+    def worker(idx: int):
+        def body():
+            for f in range(frames_per):
+                buf = yield ops.alloc(FRAME, site=800)
+                for off in range(0, FRAME, 8):
+                    yield ops.write(buf + off, 8, site=801)
+                # Motion estimation + entropy coding both walk the frame.
+                yield from array_read(buf, FRAME, width=8, site=802)
+                yield from array_read(buf, FRAME, width=8, site=806)
+                yield from array_read(buf, FRAME, width=8, site=807)
+                yield ops.acquire(frame_lock, site=803)
+                yield ops.read(buf, 8, site=804)  # mux under the lock
+                yield ops.release(frame_lock, site=803)
+                yield ops.free(buf, FRAME, site=805)
+            # The real bug: two workers touch next_pts unprotected.
+            if idx < 2:
+                yield ops.read(next_pts, 4, site=810)
+                yield ops.write(next_pts, 4, site=811)
+        return body
+
+    return Program.from_threads(
+        [worker(i) for i in range(workers)],
+        name="ffmpeg",
+    )
+
+
+WORKLOAD = Workload(
+    name="ffmpeg",
+    threads=THREADS,
+    description="frame workers over heap buffers; one unprotected PTS",
+    build_fn=build,
+    seeded_race_sites=1,
+    notes="exactly one real race between two worker threads",
+)

@@ -1,0 +1,96 @@
+"""fluidanimate-style workload: SoA grid fields under fine-grained locks.
+
+PARSEC's fluidanimate keeps particle state in structure-of-arrays form;
+worker threads sweep their rows under per-row mutexes, re-reading
+densities for each neighbour interaction (the paper measures 89%
+same-epoch accesses at byte granularity).  Accesses are word-sized and
+word-aligned, so the word detector saves nothing on indexing, while
+rows re-coalesce into row-sized clock groups under dynamic granularity.
+One seeded race: a border cell updated with the wrong lock.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program, SyncNamespace, ops
+from repro.workloads.base import Region, Workload, array_init
+
+THREADS = 5
+
+
+def build(scale: float = 1.0, seed: int = 0) -> Program:
+    region = Region()
+    ns = SyncNamespace()
+    workers = THREADS - 1
+    rows_per = max(2, int(6 * scale))
+    cols = 16
+    rows = rows_per * workers
+    # Structure-of-arrays: one contiguous field array per quantity.
+    density = region.take(rows * cols * 4)
+    velocity = region.take(rows * cols * 4)
+    force = region.take(rows * cols * 4)
+    locks = ns.new(rows)
+    bar = ns.barrier()
+    iters = 3
+    border = density + (rows_per * cols - 1) * 4  # partition-edge cell
+
+    def cell(base: int, r: int, c: int) -> int:
+        return base + (r * cols + c) * 4
+
+    def worker(idx: int):
+        def body():
+            r0 = idx * rows_per
+            for it in range(iters):
+                yield ops.barrier(bar, workers, site=200)
+                for r in range(r0, r0 + rows_per):
+                    yield ops.acquire(locks[r], site=201)
+                    # Density pass: each cell's density is re-read for
+                    # both of its neighbour interactions.
+                    for c in range(cols):
+                        yield ops.read(cell(density, r, c), 4, site=202)
+                        yield ops.read(cell(density, r, max(c - 1, 0)),
+                                       4, site=203)
+                        yield ops.read(cell(density, r, c), 4, site=204)
+                    # Force pass over the same row: read density again,
+                    # read velocity, accumulate force.
+                    for c in range(cols):
+                        yield ops.read(cell(density, r, c), 4, site=205)
+                        yield ops.read(cell(velocity, r, c), 4, site=206)
+                        yield ops.write(cell(force, r, c), 4, site=207)
+                    # Integrate: update velocity from force.
+                    for c in range(cols):
+                        yield ops.read(cell(force, r, c), 4, site=208)
+                        yield ops.write(cell(velocity, r, c), 4, site=209)
+                    yield ops.release(locks[r], site=210)
+                # Neighbour-row exchange under the neighbour's lock.
+                if r0 + rows_per < rows:
+                    nr = r0 + rows_per
+                    yield ops.acquire(locks[nr], site=211)
+                    yield ops.read(cell(density, nr, 0), 4, site=212)
+                    yield ops.release(locks[nr], site=211)
+                # Seeded race: the border cell is touched with the
+                # *wrong* lock by the last two workers.
+                if idx >= workers - 2:
+                    yield ops.acquire(locks[r0], site=213)
+                    yield ops.write(border, 4, site=214)
+                    yield ops.release(locks[r0], site=213)
+        return body
+
+    def setup():
+        yield from array_init(density, rows * cols * 4, width=8, site=1)
+        yield from array_init(velocity, rows * cols * 4, width=8, site=2)
+
+    return Program.from_threads(
+        [worker(i) for i in range(workers)],
+        name="fluidanimate",
+        setup=list(setup()),
+    )
+
+
+WORKLOAD = Workload(
+    name="fluidanimate",
+    threads=THREADS,
+    description="SoA grid sweeps under per-row locks, barrier iterations",
+    build_fn=build,
+    seeded_race_sites=1,
+    notes="aligned word accesses; rows coalesce into row groups",
+)

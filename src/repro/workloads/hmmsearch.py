@@ -1,0 +1,70 @@
+"""hmmsearch-style workload: embarrassingly parallel scoring + one race.
+
+Each thread scores its own sequence chunks against a shared read-only
+model; the only cross-thread write is a best-score reduction, and the
+unprotected fast-path check of it seeds the single race all three tools
+agreed on in the paper's case study.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program, SyncNamespace, ops
+from repro.workloads.base import Region, Workload, array_init
+
+THREADS = 3
+
+
+def build(scale: float = 1.0, seed: int = 0) -> Program:
+    region = Region()
+    ns = SyncNamespace()
+    workers = THREADS - 1
+    model_bytes = max(256, int(1024 * scale))
+    chunk = max(512, int(4096 * scale))
+    model = region.take(model_bytes)
+    seqs = region.take(workers * chunk)
+    region.take(64)  # unrelated globals separate the hot scalar
+    best = region.take(4)
+    best_lock = ns.lock()
+    passes = 3
+
+    def worker(idx: int):
+        def body():
+            base = seqs + idx * chunk
+            for p in range(passes):
+                # Private chunk scoring against the shared model: the
+                # Viterbi pass re-reads model rows for every sequence
+                # window, so model bytes are heavily reused per epoch.
+                for off in range(0, chunk, 8):
+                    yield ops.write(base + off, 8, site=950)
+                for off in range(0, chunk, 8):
+                    yield ops.read(base + off, 8, site=952)
+                    yield ops.read(model + (off % model_bytes), 8, site=951)
+                    yield ops.read(model + ((off + 8) % model_bytes), 8,
+                                   site=951)
+                # Double-checked best-score update: the unlocked peek
+                # is the seeded race.
+                yield ops.read(best, 4, site=960)
+                yield ops.acquire(best_lock, site=961)
+                yield ops.write(best, 4, site=962)
+                yield ops.release(best_lock, site=961)
+        return body
+
+    def setup():
+        yield from array_init(model, model_bytes, width=8, site=1)
+        yield from array_init(best, 4, width=4, site=2)
+
+    return Program.from_threads(
+        [worker(i) for i in range(workers)],
+        name="hmmsearch",
+        setup=list(setup()),
+    )
+
+
+WORKLOAD = Workload(
+    name="hmmsearch",
+    threads=THREADS,
+    description="private sequence scoring + double-checked reduction",
+    build_fn=build,
+    seeded_race_sites=1,
+    notes="the single race every tool in the paper's case study found",
+)

@@ -1,0 +1,86 @@
+"""raytrace-style workload: read-mostly shared scene, private framebuffer.
+
+All threads read random scene locations (read-shared vector clocks) and
+write disjoint framebuffer rows.  Random scene reads have no spatial
+locality and re-touch the same bytes across epochs, so dynamic
+granularity buys little — matching the paper, where raytrace shows no
+improvement.  One seeded race on a ray counter, plus races inside a
+modelled "libpthread" (library sites, suppressed by default rules but
+visible to tools that do not suppress — the paper's DRD-vs-dynamic
+raytrace discrepancy).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program, SyncNamespace, ops
+from repro.workloads.base import (
+    LIBRARY_SITE_BASE,
+    Region,
+    Workload,
+    array_init,
+    make_rng,
+)
+
+THREADS = 5
+
+
+def build(scale: float = 1.0, seed: int = 0) -> Program:
+    region = Region()
+    ns = SyncNamespace()
+    workers = THREADS - 1
+    scene_bytes = max(512, int(4096 * scale))
+    rows = max(64, int(512 * scale))
+    scene = region.take(scene_bytes)
+    fb = region.take(rows * 8 * workers)
+    counter = region.take(8)          # seeded race target
+    pthread_guts = region.take(16)    # "library" state with benign races
+    rays = max(16, int(120 * scale))
+    rng = make_rng(seed, "raytrace")
+    # Rays mostly revisit a hot working set (BVH upper levels) with a
+    # cold random tail — reuse without spatial locality.
+    hot = [rng.randrange(0, scene_bytes - 8) & ~7 for _ in range(16)]
+    picks = [
+        [
+            rng.choice(hot)
+            if rng.random() < 0.8
+            else rng.randrange(0, scene_bytes - 8) & ~7
+            for _ in range(rays)
+        ]
+        for _ in range(workers)
+    ]
+
+    def worker(idx: int):
+        def body():
+            base = fb + idx * rows * 8
+            for i, pick in enumerate(picks[idx]):
+                yield ops.read(scene + pick, 8, site=300)
+                yield ops.write(base + (i % rows) * 8, 8, site=301)
+                # Library-internal bookkeeping (suppressed sites).
+                yield ops.write(
+                    pthread_guts + 8 * (idx % 2), 4,
+                    site=LIBRARY_SITE_BASE + 1,
+                )
+            # Seeded race: every worker bumps the ray counter unlocked.
+            yield ops.read(counter, 4, site=310)
+            yield ops.write(counter, 4, site=311)
+        return body
+
+    def setup():
+        yield from array_init(scene, scene_bytes, width=8, site=1)
+
+    return Program.from_threads(
+        [worker(i) for i in range(workers)],
+        name="raytrace",
+        setup=list(setup()),
+    )
+
+
+WORKLOAD = Workload(
+    name="raytrace",
+    threads=THREADS,
+    description="read-mostly scene + private framebuffer rows",
+    build_fn=build,
+    seeded_race_sites=1,
+    notes="no locality in reads: dynamic granularity gains nothing; "
+    "library races visible only without suppression",
+)

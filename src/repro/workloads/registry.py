@@ -1,0 +1,61 @@
+"""Workload catalogue: the paper's 11 benchmarks by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.runtime.trace import Trace
+from repro.workloads import (
+    canneal,
+    dedup,
+    facesim,
+    ferret,
+    ffmpeg,
+    fluidanimate,
+    hmmsearch,
+    pbzip2,
+    raytrace,
+    streamcluster,
+    x264,
+)
+from repro.workloads.base import Workload
+
+_ALL: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        facesim.WORKLOAD,
+        ferret.WORKLOAD,
+        fluidanimate.WORKLOAD,
+        raytrace.WORKLOAD,
+        x264.WORKLOAD,
+        canneal.WORKLOAD,
+        dedup.WORKLOAD,
+        streamcluster.WORKLOAD,
+        ffmpeg.WORKLOAD,
+        pbzip2.WORKLOAD,
+        hmmsearch.WORKLOAD,
+    )
+}
+
+
+def workload_names() -> List[str]:
+    """Paper order: 8 PARSEC programs, then the 3 applications."""
+    return list(_ALL)
+
+
+def all_workloads() -> List[Workload]:
+    return list(_ALL.values())
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from None
+
+
+def build_trace(name: str, scale: float = 1.0, seed: int = 0) -> Trace:
+    """Convenience: schedule the named workload into a trace."""
+    return get_workload(name).trace(scale=scale, seed=seed)

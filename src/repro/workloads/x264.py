@@ -1,0 +1,81 @@
+"""x264-style workload: slice-parallel encoding with a racy stats block.
+
+Each thread encodes private macroblock rows, but all threads update a
+shared statistics structure without locking — the paper reports on the
+order of a thousand racy locations for x264.  The structure mixes
+4-byte fields (where byte and dynamic agree and the word detector
+merges nothing extra) with runs of adjacent 1-byte flags that the word
+detector masks together (reporting *fewer* races, the paper's 993) and
+that share one clock under dynamic granularity (reporting a handful
+*more*, the paper's 997-style group effect).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program, SyncNamespace, ops
+from repro.workloads.base import Region, Workload, array_init
+
+THREADS = 5
+FIELDS = 48          # racy 4-byte counters
+FLAG_RUNS = 4        # racy byte-flag runs
+FLAG_RUN_LEN = 6     # bytes per run (non word multiple on purpose)
+
+
+def build(scale: float = 1.0, seed: int = 0) -> Program:
+    region = Region()
+    ns = SyncNamespace()
+    workers = THREADS - 1
+    mb_bytes = max(512, int(3072 * scale))
+    stats = region.take(FIELDS * 4)
+    flags = region.take(FLAG_RUNS * 8)
+    mbs = region.take(workers * mb_bytes)
+    frames = max(2, int(5 * scale))
+    enc_lock = ns.lock()
+
+    def worker(idx: int):
+        def body():
+            base = mbs + idx * mb_bytes
+            for f in range(frames):
+                # Private macroblock row: init, then motion search
+                # re-reads it twice (clean, heavy same-epoch reuse).
+                for off in range(0, mb_bytes, 8):
+                    yield ops.write(base + off, 8, site=400)
+                for off in range(0, mb_bytes, 8):
+                    yield ops.read(base + off, 8, site=401)
+                    yield ops.read(base + off, 8, site=401)
+                    yield ops.write(base + off, 8, site=402)
+                # Legit protected section: rate-control state.
+                yield ops.acquire(enc_lock, site=402)
+                yield ops.write(stats + FIELDS * 4 - 4, 4, site=403)
+                yield ops.release(enc_lock, site=402)
+                # Racy statistics updates (all but the protected field).
+                for i in range(FIELDS - 1):
+                    yield ops.read(stats + i * 4, 4, site=410)
+                    yield ops.write(stats + i * 4, 4, site=411)
+                # Racy byte flags: whole run written together, so the
+                # run shares one clock under dynamic granularity.
+                for rn in range(FLAG_RUNS):
+                    yield ops.write(
+                        flags + rn * 8, FLAG_RUN_LEN, site=420 + rn
+                    )
+        return body
+
+    def setup():
+        yield from array_init(stats, FIELDS * 4, width=4, site=1)
+        yield from array_init(flags, FLAG_RUNS * 8, width=1, site=2)
+
+    return Program.from_threads(
+        [worker(i) for i in range(workers)],
+        name="x264",
+        setup=list(setup()),
+    )
+
+
+WORKLOAD = Workload(
+    name="x264",
+    threads=THREADS,
+    description="slice-parallel encode; unprotected shared statistics",
+    build_fn=build,
+    seeded_race_sites=FIELDS - 1 + FLAG_RUNS,
+    notes="byte ~= dynamic race counts; word masks byte flags together",
+)

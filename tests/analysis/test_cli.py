@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "pbzip2" in out
+    assert "fasttrack-dynamic" in out
+
+
+def test_run_command_reports_races(capsys):
+    assert main(["run", "-w", "ffmpeg", "-d", "dynamic", "--scale", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "slowdown" in out
+    assert "data race(s) detected" in out
+
+
+def test_run_no_suppress_flag(capsys):
+    assert (
+        main(
+            ["run", "-w", "raytrace", "-d", "fasttrack-byte",
+             "--scale", "0.3", "--no-suppress"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "library_races" in out
+
+
+def test_table_command(capsys):
+    assert (
+        main(["table", "3", "--scale", "0.2", "--workloads", "hmmsearch"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "hmmsearch" in out
+
+
+def test_record_and_replay_roundtrip(tmp_path, capsys):
+    path = os.path.join(tmp_path, "t.npz")
+    assert main(["record", "-w", "ffmpeg", "--scale", "0.2", "-o", path]) == 0
+    assert os.path.exists(path)
+    assert main(["replay", path, "-d", "dynamic"]) == 0
+    out = capsys.readouterr().out
+    assert "saved" in out
+    assert "slowdown" in out
+
+
+def test_unknown_detector_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "-w", "ffmpeg", "-d", "bogus"])
+
+
+def test_unknown_table_rejected():
+    with pytest.raises(SystemExit):
+        main(["table", "9"])
+
+
+def test_hbgraph_command(tmp_path, capsys):
+    import os
+
+    trace_path = os.path.join(tmp_path, "t.npz")
+    dot_path = os.path.join(tmp_path, "t.dot")
+    assert main(["record", "-w", "ffmpeg", "--scale", "0.1",
+                 "-o", trace_path]) == 0
+    assert main(["hbgraph", trace_path, "-o", dot_path]) == 0
+    content = open(dot_path).read()
+    assert content.startswith("digraph hb {")
+    out = capsys.readouterr().out
+    assert "wrote" in out
+
+
+def test_hbgraph_to_stdout(tmp_path, capsys):
+    import os
+
+    trace_path = os.path.join(tmp_path, "t.npz")
+    main(["record", "-w", "hmmsearch", "--scale", "0.1", "-o", trace_path])
+    capsys.readouterr()
+    assert main(["hbgraph", trace_path]) == 0
+    assert "digraph hb {" in capsys.readouterr().out
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "-w", "pbzip2", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "sharing potential" in out
+
+
+def test_run_accepts_embedded_scenarios(capsys):
+    assert main(["run", "-w", "packet-router", "-d", "fasttrack-byte",
+                 "--scale", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "data race" in out
+
+
+def test_list_shows_scenarios(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "sensor-fusion" in out
+    assert "embedded scenarios" in out

@@ -1,0 +1,102 @@
+"""Tests for the schedule-exploration campaign."""
+
+from repro.analysis.fuzz import format_fuzz_result, fuzz_schedules
+from repro.runtime.program import Program, ops
+
+
+def _racy_factory():
+    def body():
+        yield ops.write(0x1000, 4, site=1)
+
+    return Program.from_threads([body, body], name="racy")
+
+
+def _clean_factory():
+    def body():
+        yield ops.acquire(1)
+        yield ops.write(0x1000, 4, site=1)
+        yield ops.release(1)
+
+    return Program.from_threads([body, body], name="clean")
+
+
+def _flaky_factory():
+    """Race manifests only when the reader outruns the lock-protected
+    writer (flag checked before it is published)."""
+    def writer():
+        yield ops.write(0x2000, 1, site=1)
+
+    def reader():
+        for _ in range(3):
+            yield ops.acquire(1)
+            yield ops.release(1)
+        yield ops.read(0x2000, 1, site=2)
+
+    return Program.from_threads([writer, reader], name="flaky")
+
+
+def test_always_racy_program():
+    result = fuzz_schedules(_racy_factory, trials=10)
+    assert result.trials == 10
+    assert result.racy_runs == 10
+    assert result.manifestation_rate == 1.0
+    assert set(result.address_hits) == set(range(0x1000, 0x1004))
+
+
+def test_clean_program_never_races():
+    result = fuzz_schedules(_clean_factory, trials=10)
+    assert result.racy_runs == 0
+    assert result.manifestation_rate == 0.0
+    assert result.address_hits == {}
+
+
+def test_first_seed_recorded_for_replay():
+    result = fuzz_schedules(_racy_factory, trials=5)
+    assert all(seed == 0 for seed in result.first_seed.values())
+
+
+def test_explicit_seed_list():
+    result = fuzz_schedules(_racy_factory, seeds=[7, 8, 9])
+    assert result.trials == 3
+
+
+def test_deadlocks_counted_not_fatal():
+    def t1():
+        yield ops.acquire(1)
+        yield ops.write(0x10, 4)
+        yield ops.acquire(2)
+
+    def t2():
+        yield ops.acquire(2)
+        yield ops.write(0x20, 4)
+        yield ops.acquire(1)
+
+    def factory():
+        return Program.from_threads([t1, t2], name="dl")
+
+    result = fuzz_schedules(factory, trials=30, quantum=(1, 2))
+    assert result.deadlocked_runs > 0
+    assert result.trials == 30
+
+
+def test_flakiest_addresses_ranks_rare_first():
+    result = fuzz_schedules(_racy_factory, trials=5)
+    ranked = result.flakiest_addresses(2)
+    assert len(ranked) == 2
+    assert ranked[0][1] <= ranked[1][1]
+
+
+def test_format_output():
+    result = fuzz_schedules(_racy_factory, trials=4)
+    text = format_fuzz_result(result)
+    assert "4 schedules" in text
+    assert "0x1000" in text
+
+
+def test_fuzz_cli(capsys):
+    from repro.cli import main
+
+    assert main(["fuzz", "-w", "ffmpeg", "--trials", "3",
+                 "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "schedules explored" in out

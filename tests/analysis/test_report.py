@@ -1,0 +1,51 @@
+"""Tests for race-report formatting and summarization."""
+
+from repro.analysis.report import (
+    format_races,
+    group_by_site_pair,
+    summarize_races,
+)
+from repro.detectors.base import RaceReport
+from repro.workloads.base import LIBRARY_SITE_BASE
+
+
+def _race(addr=0x10, site=1, prev=2, kind="write-write", unit=1):
+    return RaceReport(addr, kind, 1, site, 0, prev, unit=unit)
+
+
+def test_format_no_races():
+    assert "no data races" in format_races([])
+
+
+def test_format_lists_races_and_group_note():
+    text = format_races([_race(unit=8)])
+    assert "1 data race(s)" in text
+    assert "0x10" in text
+    assert "7 neighbouring byte(s)" in text
+
+
+def test_format_respects_limit():
+    races = [_race(addr=a) for a in range(30)]
+    text = format_races(races, limit=5)
+    assert "and 25 more" in text
+
+
+def test_group_by_site_pair_symmetry():
+    a = _race(site=1, prev=2)
+    b = _race(addr=0x20, site=2, prev=1)  # swapped pair, same bucket
+    groups = group_by_site_pair([a, b])
+    assert len(groups) == 1
+    assert len(next(iter(groups.values()))) == 2
+
+
+def test_summary_counts():
+    races = [
+        _race(addr=0x10),
+        _race(addr=0x10, kind="write-read"),
+        _race(addr=0x20, site=LIBRARY_SITE_BASE + 5),
+    ]
+    s = summarize_races(races)
+    assert s["total"] == 3
+    assert s["distinct_addresses"] == 2
+    assert s["by_kind"]["write-write"] == 2
+    assert s["library_races"] == 1

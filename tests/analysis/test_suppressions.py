@@ -1,0 +1,102 @@
+"""Tests for suppression-file parsing and application."""
+
+import pytest
+
+from repro.analysis.suppressions import (
+    SuppressionError,
+    SuppressionSet,
+    default_suppression_set,
+    parse_rules,
+)
+from repro.detectors.base import RaceReport
+
+
+def _race(addr=0x10, kind="write-write", site=5, prev=6):
+    return RaceReport(addr, kind, 1, site, 0, prev)
+
+
+def test_parse_basic_rules():
+    rules = parse_rules(
+        """
+        # comment
+        libc *  1000-1999
+        flag write-write 411
+        multi * 1,2,10-12
+        """
+    )
+    assert [r.name for r in rules] == ["libc", "flag", "multi"]
+    assert rules[0].matches_site(1500)
+    assert not rules[0].matches_site(2000)
+    assert rules[2].matches_site(11)
+    assert rules[2].matches_site(2)
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(SuppressionError):
+        parse_rules("only-two-fields *")
+    with pytest.raises(SuppressionError):
+        parse_rules("bad * notanumber")
+    with pytest.raises(SuppressionError):
+        parse_rules("empty * 9-5")
+    with pytest.raises(SuppressionError):
+        parse_rules("none *  ,")
+
+
+def test_kind_filtering():
+    rules = parse_rules("wonly write-write 100")
+    assert rules[0].matches_race(_race(site=100))
+    assert not rules[0].matches_race(_race(site=100, kind="write-read"))
+
+
+def test_matches_either_side():
+    rules = parse_rules("r * 100")
+    assert rules[0].matches_race(_race(site=100, prev=1))
+    assert rules[0].matches_race(_race(site=1, prev=100))
+    assert not rules[0].matches_race(_race(site=1, prev=2))
+
+
+def test_filter_races_partitions():
+    sup = SuppressionSet.from_text("libc * 1000-1999")
+    races = [_race(site=5), _race(addr=0x20, site=1500), _race(addr=0x30)]
+    kept, suppressed = sup.filter_races(races)
+    assert len(kept) == 2
+    assert len(suppressed) == 1
+    assert sup.summary() == {"libc": 1}
+
+
+def test_unused_rules_reported():
+    sup = SuppressionSet.from_text("never * 77\nused * 5")
+    sup.filter_races([_race(site=5)])
+    assert sup.unused_rules() == ["never"]
+
+
+def test_site_predicate_plugs_into_detectors():
+    from repro.detectors.fasttrack import FastTrackDetector
+
+    sup = SuppressionSet.from_text("noisy * 42")
+    det = FastTrackDetector(suppress=sup.site_predicate())
+    det.on_fork(0, 1)
+    det.on_write(0, 0x10, 1, site=42)
+    det.on_write(1, 0x10, 1, site=42)
+    assert det.races == []
+    assert sup.summary()["noisy"] >= 1
+    # a different site still reports
+    det.on_write(0, 0x20, 1, site=7)
+    det.on_write(1, 0x20, 1, site=7)
+    assert len(det.races) == 1
+
+
+def test_default_set_matches_library_sites():
+    from repro.workloads.base import LIBRARY_SITE_BASE, default_suppression
+
+    sup = default_suppression_set()
+    pred = sup.site_predicate()
+    for site in (LIBRARY_SITE_BASE, LIBRARY_SITE_BASE + 12345, 5):
+        assert pred(site) == default_suppression(site)
+
+
+def test_from_file(tmp_path):
+    path = tmp_path / "supp.txt"
+    path.write_text("x * 9\n")
+    sup = SuppressionSet.from_file(str(path))
+    assert sup.rules[0].name == "x"

@@ -1,0 +1,119 @@
+"""Tests for trace access-pattern statistics."""
+
+from repro.analysis.tracestats import compute_stats, format_stats
+from repro.runtime import Program, Scheduler, ops
+from repro.workloads.registry import get_workload
+
+
+def _trace(bodies, seed=0):
+    return Scheduler(seed=seed).run(Program.from_threads(bodies))
+
+
+def test_basic_counts():
+    def body():
+        yield ops.write(0x100, 8, site=1)
+        yield ops.read(0x100, 8, site=2)
+        yield ops.acquire(1)
+        yield ops.release(1)
+
+    stats = compute_stats(_trace([body]))
+    assert stats.reads == 1
+    assert stats.writes == 1
+    assert stats.accesses == 2
+    assert stats.width_histogram == {8: 2}
+    assert stats.footprint == 8
+
+
+def test_sequential_sweep_has_full_locality():
+    def body():
+        for off in range(0, 256, 8):
+            yield ops.write(0x1000 + off, 8)
+
+    stats = compute_stats(_trace([body]))
+    assert stats.spatial_locality > 0.9
+
+
+def test_random_pattern_has_low_locality():
+    import random
+
+    rng = random.Random(7)
+    picks = [rng.randrange(0, 1 << 20) & ~7 for _ in range(200)]
+
+    def body():
+        for a in picks:
+            yield ops.read(0x100000 + a, 8)
+
+    stats = compute_stats(_trace([body]))
+    assert stats.spatial_locality < 0.3
+
+
+def test_interleaved_streams_still_local():
+    """Two alternating sequential streams (input/output buffers) count
+    as local thanks to multi-stream tracking."""
+    def body():
+        for off in range(0, 256, 8):
+            yield ops.read(0x1000 + off, 8)
+            yield ops.write(0x9000 + off, 8)
+
+    stats = compute_stats(_trace([body]))
+    assert stats.spatial_locality > 0.9
+
+
+def test_intra_epoch_reuse():
+    def body():
+        for _ in range(4):
+            yield ops.read(0x100, 8)
+        yield ops.acquire(1)
+        yield ops.release(1)  # epoch boundary resets the seen set
+        yield ops.read(0x100, 8)
+
+    stats = compute_stats(_trace([body]))
+    assert stats.intra_epoch_reuse == 3 / 5
+
+
+def test_heap_churn():
+    def body():
+        a = yield ops.alloc(128)
+        yield ops.write(a, 8)
+        yield ops.free(a, 128)
+        b = yield ops.alloc(64)
+        yield ops.write(b, 8)
+        # b intentionally leaked
+
+    stats = compute_stats(_trace([body]))
+    assert 0.5 < stats.heap_churn < 1.0
+
+
+def test_epoch_accounting():
+    def body():
+        yield ops.write(0x10, 4)
+        yield ops.acquire(1)
+        yield ops.release(1)
+        yield ops.write(0x20, 4)
+
+    stats = compute_stats(_trace([body, body]))
+    assert stats.epochs >= 2
+    assert stats.accesses_per_epoch > 0
+
+
+def test_sharing_potential_orders_known_extremes():
+    pb = compute_stats(get_workload("pbzip2").trace(scale=0.3, seed=1))
+    cn = compute_stats(get_workload("canneal").trace(scale=0.3, seed=1))
+    assert pb.sharing_potential() > cn.sharing_potential()
+    assert 0.0 <= cn.sharing_potential() <= 1.0
+
+
+def test_format_stats_renders():
+    stats = compute_stats(get_workload("ffmpeg").trace(scale=0.2, seed=1))
+    text = format_stats(stats, "ffmpeg")
+    assert "spatial locality" in text
+    assert "sharing potential" in text
+
+
+def test_empty_trace():
+    from repro.runtime.trace import Trace
+
+    stats = compute_stats(Trace([], name="empty"))
+    assert stats.accesses == 0
+    assert stats.spatial_locality == 0.0
+    assert stats.touch_density == 0.0

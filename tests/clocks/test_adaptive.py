@@ -1,0 +1,132 @@
+"""Unit tests for FastTrack's adaptive read representation."""
+
+import pytest
+
+from repro.clocks.adaptive import ReadClock
+from repro.clocks.epoch import BOTTOM, Epoch
+from repro.clocks.vectorclock import VectorClock
+
+
+def _vc(*clocks):
+    return VectorClock(list(clocks))
+
+
+def test_starts_in_epoch_mode_at_bottom():
+    r = ReadClock()
+    assert not r.is_shared
+    assert r.epoch == BOTTOM
+
+
+def test_ordered_reads_stay_in_epoch_mode():
+    r = ReadClock()
+    t0 = _vc(1)
+    r.record(1, 0, t0)
+    # Thread 1 has seen thread 0's clock 1: the reads are ordered.
+    t1 = _vc(1, 4)
+    r.record(4, 1, t1)
+    assert not r.is_shared
+    assert r.epoch == Epoch(4, 1)
+
+
+def test_concurrent_reads_inflate_to_vector():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    # Thread 1 has NOT seen thread 0's clock 3: concurrent reads.
+    r.record(2, 1, _vc(0, 2))
+    assert r.is_shared
+    assert r.vc.as_list() == [3, 2]
+
+
+def test_shared_mode_records_per_thread():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    r.record(2, 1, _vc(0, 2))
+    r.record(5, 2, _vc(0, 0, 5))
+    assert r.vc.as_list() == [3, 2, 5]
+
+
+def test_same_epoch_fast_path():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    assert r.same_epoch(3, 0)
+    assert not r.same_epoch(3, 1)
+    assert not r.same_epoch(4, 0)
+
+
+def test_same_epoch_false_in_shared_mode():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    r.record(2, 1, _vc(0, 2))
+    assert not r.same_epoch(3, 0)
+
+
+def test_leq_epoch_mode():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    assert r.leq(_vc(3, 1))
+    assert not r.leq(_vc(2, 9))
+
+
+def test_leq_shared_mode():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    r.record(2, 1, _vc(0, 2))
+    assert r.leq(_vc(3, 2))
+    assert not r.leq(_vc(3, 1))
+
+
+def test_racing_tids_lists_concurrent_readers():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    r.record(2, 1, _vc(0, 2))
+    assert r.racing_tids(_vc(3, 1)) == [1]
+    assert r.racing_tids(_vc(0, 0)) == [0, 1]
+    assert r.racing_tids(_vc(3, 2)) == []
+
+
+def test_reset_returns_to_bottom():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    r.record(2, 1, _vc(0, 2))
+    r.reset()
+    assert not r.is_shared
+    assert r.epoch == BOTTOM
+
+
+def test_copy_shared_mode_is_deep():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    r.record(2, 1, _vc(0, 2))
+    c = r.copy()
+    c.vc.set(0, 99)
+    assert r.vc.get(0) == 3
+
+
+def test_semantic_equality_epoch_vs_epoch():
+    a, b = ReadClock(), ReadClock()
+    a.record(3, 0, _vc(3))
+    b.record(3, 0, _vc(3))
+    assert a == b
+    b.record(4, 0, _vc(4))
+    assert a != b
+
+
+def test_semantic_equality_epoch_vs_shared():
+    ep = ReadClock(Epoch(3, 1))
+    sh = ReadClock(vc=VectorClock([0, 3]))
+    assert ep == sh
+    sh2 = ReadClock(vc=VectorClock([1, 3]))
+    assert ep != sh2
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(ReadClock())
+
+
+def test_repr_both_modes():
+    r = ReadClock()
+    r.record(3, 0, _vc(3))
+    assert "3@0" in repr(r)
+    r.record(2, 1, _vc(0, 2))
+    assert "shared" in repr(r)

@@ -1,0 +1,26 @@
+"""Unit tests for epochs and the epoch/vector-clock order."""
+
+from repro.clocks.epoch import BOTTOM, Epoch, epoch_leq, epoch_of
+from repro.clocks.vectorclock import VectorClock
+
+
+def test_bottom_precedes_everything():
+    assert epoch_leq(BOTTOM, VectorClock())
+    assert epoch_leq(BOTTOM, VectorClock.for_thread(2))
+
+
+def test_epoch_leq_uses_entry_of_its_thread():
+    vc = VectorClock([4, 7])
+    assert epoch_leq(Epoch(7, 1), vc)
+    assert not epoch_leq(Epoch(8, 1), vc)
+    assert epoch_leq(Epoch(4, 0), vc)
+    assert not epoch_leq(Epoch(5, 0), vc)
+
+
+def test_epoch_of_reads_own_entry():
+    vc = VectorClock([4, 7])
+    assert epoch_of(vc, 1) == Epoch(7, 1)
+
+
+def test_epoch_paper_notation():
+    assert str(Epoch(3, 1)) == "3@1"

@@ -1,0 +1,84 @@
+"""Unit tests for the VectorClock lattice."""
+
+import pytest
+
+from repro.clocks.vectorclock import VectorClock
+
+
+def test_fresh_thread_clock_starts_at_one():
+    vc = VectorClock.for_thread(3)
+    assert vc.as_list() == [0, 0, 0, 1]
+    assert vc.get(3) == 1
+
+
+def test_get_past_stored_length_is_zero():
+    vc = VectorClock([1, 2])
+    assert vc.get(7) == 0
+
+
+def test_set_grows_vector():
+    vc = VectorClock()
+    vc.set(4, 9)
+    assert vc.as_list() == [0, 0, 0, 0, 9]
+
+
+def test_increment_returns_new_value():
+    vc = VectorClock([5])
+    assert vc.increment(0) == 6
+    assert vc.increment(2) == 1
+
+
+def test_join_is_elementwise_max():
+    a = VectorClock([1, 5, 0])
+    b = VectorClock([3, 2, 4, 7])
+    a.join(b)
+    assert a.as_list() == [3, 5, 4, 7]
+
+
+def test_join_with_shorter_vector():
+    a = VectorClock([1, 5, 9])
+    b = VectorClock([3])
+    a.join(b)
+    assert a.as_list() == [3, 5, 9]
+
+
+def test_leq_pointwise():
+    assert VectorClock([1, 2]).leq(VectorClock([1, 2, 0]))
+    assert VectorClock([1, 2]).leq(VectorClock([5, 2]))
+    assert not VectorClock([1, 3]).leq(VectorClock([1, 2]))
+
+
+def test_leq_with_implicit_zeros():
+    assert VectorClock([0, 0, 0]).leq(VectorClock([]))
+    assert not VectorClock([0, 1]).leq(VectorClock([]))
+
+
+def test_equality_ignores_zero_padding():
+    assert VectorClock([1, 2]) == VectorClock([1, 2, 0, 0])
+    assert VectorClock([1, 2, 0, 3]) != VectorClock([1, 2])
+
+
+def test_equality_non_clock_is_not_implemented():
+    assert VectorClock([1]) != "not a clock"
+
+
+def test_copy_is_independent():
+    a = VectorClock([1, 2])
+    b = a.copy()
+    b.set(0, 9)
+    assert a.get(0) == 1
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(VectorClock([1]))
+
+
+def test_nonzero_width():
+    assert VectorClock([1, 0, 2, 0, 0]).nonzero_width() == 3
+    assert VectorClock([0, 0]).nonzero_width() == 0
+    assert VectorClock().nonzero_width() == 0
+
+
+def test_repr_mentions_contents():
+    assert "1, 2" in repr(VectorClock([1, 2]))

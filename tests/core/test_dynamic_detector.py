@@ -1,0 +1,359 @@
+"""Behavioural tests for the dynamic-granularity detector."""
+
+from repro.core.config import DynamicConfig
+from repro.core.detector import DynamicGranularityDetector
+from repro.core.state_machine import (
+    INIT_PRIVATE,
+    INIT_SHARED,
+    PRIVATE,
+    RACE,
+    SHARED,
+    is_init,
+)
+from repro.detectors.fasttrack import FastTrackDetector
+
+
+def _dyn(**flags):
+    return DynamicGranularityDetector(config=DynamicConfig(**flags))
+
+
+def _forked(det, n=2):
+    for child in range(1, n):
+        det.on_fork(0, child)
+    return det
+
+
+# ----------------------------------------------------------------------
+# precision: agrees with byte FastTrack on the basic race shapes
+# ----------------------------------------------------------------------
+
+def test_write_write_race_like_fasttrack():
+    det = _forked(_dyn())
+    det.on_write(0, 0x10, 1, site=1)
+    det.on_write(1, 0x10, 1, site=2)
+    assert len(det.races) == 1
+    assert det.races[0].kind == "write-write"
+
+
+def test_write_read_race():
+    det = _forked(_dyn())
+    det.on_write(0, 0x10, 4)
+    det.on_read(1, 0x10, 4)
+    assert det.races
+    assert det.races[0].kind == "write-read"
+
+
+def test_read_write_race():
+    det = _forked(_dyn())
+    det.on_read(0, 0x10, 4)
+    det.on_write(1, 0x10, 4)
+    assert det.races
+    assert det.races[0].kind == "read-write"
+
+
+def test_lock_discipline_clean():
+    det = _forked(_dyn())
+    for tid in (0, 1, 0, 1):
+        det.on_acquire(tid, 7)
+        det.on_write(tid, 0x10, 4)
+        det.on_read(tid, 0x10, 4)
+        det.on_release(tid, 7)
+    assert det.races == []
+
+
+def test_read_read_not_a_race():
+    det = _forked(_dyn())
+    det.on_read(0, 0x10, 4)
+    det.on_read(1, 0x10, 4)
+    assert det.races == []
+
+
+def test_fork_join_ordering():
+    det = _dyn()
+    det.on_write(0, 0x10, 4)
+    det.on_fork(0, 1)
+    det.on_write(1, 0x10, 4)
+    det.on_join(0, 1)
+    det.on_read(0, 0x10, 4)
+    assert det.races == []
+
+
+# ----------------------------------------------------------------------
+# granularity mechanics
+# ----------------------------------------------------------------------
+
+def test_single_access_creates_one_group():
+    det = _dyn()
+    det.on_write(0, 0x100, 8)
+    g = det._wg.table.get(0x100)
+    assert g.count == 8
+    assert is_init(g.state)
+    assert det.group_stats.live_clocks == 1
+
+
+def test_sequential_init_shares_one_clock():
+    """Zeroing an array in one epoch -> one write clock for all of it
+    (observation 2 in the paper)."""
+    det = _dyn()
+    for off in range(0, 64, 8):
+        det.on_write(0, 0x1000 + off, 8)
+    g = det._wg.table.get(0x1000)
+    assert g.count == 64
+    assert g.state == INIT_SHARED
+    assert det.group_stats.live_clocks == 1
+
+
+def test_byte_fasttrack_needs_many_more_clocks():
+    dyn, ft = _dyn(), FastTrackDetector(granularity=1)
+    for det in (dyn, ft):
+        for off in range(0, 64, 8):
+            det.on_write(0, 0x1000 + off, 8)
+    assert dyn.group_stats.live_clocks == 1
+    # Peak may transiently see the pre-merge group alongside the
+    # survivor, but never more than 2.
+    assert dyn.group_stats.max_clocks <= 2
+    assert ft.max_vectors == 128  # a write + read clock per byte
+
+
+def test_init_sharing_across_padding_gap():
+    """Struct with a 4-byte never-accessed hole still shares (nearest
+    predecessor search skips the padding)."""
+    det = _dyn()
+    det.on_write(0, 0x100, 4)
+    det.on_write(0, 0x108, 4)  # 4-byte gap at 0x104
+    g = det._wg.table.get(0x100)
+    assert det._wg.table.get(0x108) is g
+    assert det._wg.table.get(0x104) is None
+    assert g.count == 8
+
+
+def test_no_sharing_beyond_scan_limit():
+    det = _dyn(neighbor_scan_limit=4)
+    det.on_write(0, 0x100, 4)
+    det.on_write(0, 0x110, 4)  # 12-byte gap > limit
+    assert det._wg.table.get(0x100) is not det._wg.table.get(0x110)
+
+
+def test_different_epoch_init_does_not_share():
+    det = _dyn()
+    det.on_write(0, 0x100, 4)
+    det.on_acquire(0, 1)
+    det.on_release(0, 1)  # new epoch
+    det.on_write(0, 0x104, 4)
+    assert det._wg.table.get(0x100) is not det._wg.table.get(0x104)
+
+
+def test_second_epoch_whole_group_access_stays_shared():
+    """A buffer written wholesale in two different epochs keeps one
+    clock, now firmly Shared (count > 1)."""
+    det = _dyn()
+    det.on_write(0, 0x100, 8)
+    det.on_acquire(0, 1)
+    det.on_release(0, 1)
+    det.on_write(0, 0x100, 8)
+    g = det._wg.table.get(0x100)
+    assert g.state == SHARED
+    assert g.count == 8
+    assert det.group_stats.live_clocks == 1
+
+
+def test_second_epoch_partial_access_splits():
+    """Struct fields initialized together but accessed separately split
+    into their own firm groups (the paper's initialization rationale)."""
+    det = _dyn()
+    det.on_write(0, 0x100, 16)  # init the whole struct
+    det.on_acquire(0, 1)
+    det.on_release(0, 1)
+    det.on_write(0, 0x100, 4)   # field A only
+    ga = det._wg.table.get(0x100)
+    rest = det._wg.table.get(0x104)
+    assert ga is not rest
+    assert ga.count == 4
+    assert ga.state == SHARED  # 4 bytes > 1 share one clock
+    assert is_init(rest.state)
+    assert rest.count == 12
+
+
+def test_single_byte_second_epoch_goes_private():
+    det = _dyn()
+    det.on_write(0, 0x100, 4)
+    det.on_acquire(0, 1)
+    det.on_release(0, 1)
+    det.on_write(0, 0x100, 1)
+    g = det._wg.table.get(0x100)
+    assert g.state == PRIVATE
+    assert g.count == 1
+
+
+def test_second_epoch_neighbor_merge():
+    """Locations accessed together in the second epoch coalesce: the
+    decision compares the stamped clock against neighbours, so a
+    wholesale sweep rebuilds one firm Shared group."""
+    det = _dyn()
+    det.on_write(0, 0x100, 8)
+    det.on_acquire(0, 1)
+    det.on_release(0, 1)
+    # Same-thread, same-epoch accesses to the two halves: the second
+    # half's decision sees the first half stamped with the same epoch
+    # and merges into it.
+    det.on_write(0, 0x100, 4)
+    det.on_write(0, 0x104, 4)
+    g1 = det._wg.table.get(0x100)
+    g2 = det._wg.table.get(0x104)
+    assert g1 is g2
+    assert g1.state == SHARED
+    assert g1.count == 8
+
+
+def test_group_fast_path_counts_same_epoch():
+    det = _dyn()
+    det.on_write(0, 0x100, 8)
+    hits = det.same_epoch_hits
+    det.on_write(0, 0x104, 4)  # different bytes, same group, same epoch
+    assert det.same_epoch_hits == hits + 1
+
+
+# ----------------------------------------------------------------------
+# races and groups
+# ----------------------------------------------------------------------
+
+def test_race_reports_all_group_mates():
+    """The x264 effect: locations sharing a clock with a racy location
+    are reported as racy too."""
+    det = _dyn()
+    # Build a firm 8-byte Shared write group: wholesale writes in two
+    # different epochs by the owning thread.
+    det.on_write(0, 0x100, 8)
+    det.on_acquire(0, 1)
+    det.on_release(0, 1)
+    det.on_write(0, 0x100, 8)
+    det.on_fork(0, 1)
+    det.on_acquire(0, 1)
+    det.on_release(0, 1)
+    det.on_write(0, 0x100, 8)  # unseen by thread 1
+    det.on_write(1, 0x100, 1)  # 1-byte race on the shared clock
+    assert len(det.races) == 8
+    assert {r.addr for r in det.races} == set(range(0x100, 0x108))
+    assert all(r.unit == 8 for r in det.races)
+
+
+def test_race_explodes_group_to_private_clocks():
+    det = _forked(_dyn())
+    det.on_write(0, 0x100, 4)
+    det.on_write(1, 0x100, 4)
+    g = det._wg.table.get(0x100)
+    assert g.state == RACE
+    assert g.count == 1  # exploded to singletons
+    assert det._wg.table.get(0x101) is not g
+
+
+def test_race_locations_not_reported_twice():
+    det = _forked(_dyn())
+    det.on_write(0, 0x100, 4)
+    det.on_write(1, 0x100, 4)
+    n = len(det.races)
+    det.on_acquire(1, 9)
+    det.on_release(1, 9)
+    det.on_write(1, 0x100, 4)
+    assert len(det.races) == n
+
+
+def test_byte_precision_on_distinct_bytes():
+    """Unlike the word detector, dynamic granularity keeps genuinely
+    separate bytes separate (no fixed-granularity false alarm)."""
+    det = _forked(_dyn())
+    det.on_acquire(0, 1)
+    det.on_write(0, 0x10, 1)
+    det.on_release(0, 1)
+    det.on_acquire(1, 2)
+    det.on_write(1, 0x11, 1)
+    det.on_release(1, 2)
+    assert det.races == []
+
+
+# ----------------------------------------------------------------------
+# ablations (Table 5) and extensions
+# ----------------------------------------------------------------------
+
+def test_no_sharing_at_init_uses_more_clocks():
+    a, b = _dyn(), _dyn(share_at_init=False)
+    for det in (a, b):
+        for off in range(0, 64, 8):
+            det.on_write(0, 0x1000 + off, 8)
+    assert a.group_stats.live_clocks == 1
+    assert b.group_stats.live_clocks == 8
+
+
+def test_no_init_state_can_false_alarm():
+    """Without the Init state the first-epoch merge is firm; data
+    protected separately afterwards is misjudged (Table 5's false
+    alarms)."""
+    racy_cfg = _dyn(init_state=False)
+    clean_cfg = _dyn()
+    for det in (racy_cfg, clean_cfg):
+        # The main thread initializes two adjacent vars in one epoch,
+        # then forks a worker (so the init is ordered before both)...
+        det.on_write(0, 0x100, 4)
+        det.on_write(0, 0x104, 4)
+        det.on_fork(0, 1)
+        # ...then each var is updated by a different thread under its
+        # own lock: properly synchronized per variable.
+        det.on_acquire(0, 1)
+        det.on_write(0, 0x100, 4)
+        det.on_release(0, 1)
+        det.on_acquire(1, 2)
+        det.on_write(1, 0x104, 4)
+        det.on_release(1, 2)
+    assert clean_cfg.races == []      # Init state: re-decided, precise
+    assert racy_cfg.races != []       # firm first-epoch merge: false alarm
+
+
+def test_resharing_interval_merges_late():
+    det = _dyn(resharing_interval=1)
+    # Two private singletons with converging clocks.
+    det.on_write(0, 0x100, 1)
+    det.on_acquire(0, 1); det.on_release(0, 1)
+    det.on_write(0, 0x100, 1)  # firm decision: private singleton
+    det.on_write(0, 0x101, 1)  # first access, init
+    det.on_acquire(0, 1); det.on_release(0, 1)
+    det.on_write(0, 0x101, 1)  # firm: private singleton
+    det.on_acquire(0, 1); det.on_release(0, 1)
+    det.on_write(0, 0x100, 1)
+    det.on_write(0, 0x101, 1)  # resharing sees equal clocks -> merge
+    g = det._wg.table.get(0x100)
+    assert det._wg.table.get(0x101) is g
+    assert g.state == SHARED
+
+
+def test_free_releases_groups():
+    det = _dyn()
+    det.on_write(0, 0x100, 16)
+    det.on_read(0, 0x100, 16)
+    assert det.group_stats.live_clocks == 2
+    det.on_free(0, 0x100, 16)
+    assert det.group_stats.live_clocks == 0
+    assert det.memory.current[1] == 0
+
+
+def test_statistics_shape():
+    det = _dyn()
+    det.on_write(0, 0x100, 8)
+    det.on_write(0, 0x100, 8)
+    det.finish()
+    stats = det.statistics()
+    assert stats["total_accesses"] == 2
+    assert stats["same_epoch_pct"] == 50.0
+    assert stats["max_vectors"] == 1
+    assert stats["avg_sharing"] == 8.0
+    assert stats["memory"]["total_peak"] > 0
+
+
+def test_read_groups_and_write_groups_independent():
+    det = _dyn()
+    det.on_write(0, 0x100, 8)
+    det.on_read(0, 0x100, 4)
+    wg = det._wg.table.get(0x100)
+    rg = det._rg.table.get(0x100)
+    assert wg is not rg
+    assert wg.count == 8
+    assert rg.count == 4

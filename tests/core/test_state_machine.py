@@ -1,0 +1,74 @@
+"""Exhaustive tests of the Fig. 2 state machine transition table."""
+
+import pytest
+
+from repro.core.state_machine import (
+    INIT_PRIVATE,
+    INIT_SHARED,
+    PRIVATE,
+    RACE,
+    SHARED,
+    STATE_NAMES,
+    check_transition,
+    is_firm,
+    is_init,
+    legal_transition,
+)
+
+ALL = (INIT_PRIVATE, INIT_SHARED, SHARED, PRIVATE, RACE)
+
+
+def test_self_loops_always_legal():
+    for s in ALL:
+        assert legal_transition(s, s)
+
+
+def test_every_state_can_race():
+    for s in (INIT_PRIVATE, INIT_SHARED, SHARED, PRIVATE):
+        assert legal_transition(s, RACE)
+
+
+def test_race_is_terminal():
+    for s in (INIT_PRIVATE, INIT_SHARED, SHARED, PRIVATE):
+        assert not legal_transition(RACE, s)
+
+
+def test_init_substates_interchange():
+    assert legal_transition(INIT_PRIVATE, INIT_SHARED)
+    assert legal_transition(INIT_SHARED, INIT_PRIVATE)
+
+
+def test_second_epoch_decisions():
+    for init in (INIT_PRIVATE, INIT_SHARED):
+        assert legal_transition(init, SHARED)
+        assert legal_transition(init, PRIVATE)
+
+
+def test_private_adoption():
+    assert legal_transition(PRIVATE, SHARED)
+
+
+def test_firm_states_never_return_to_init():
+    for firm in (SHARED, PRIVATE, RACE):
+        for init in (INIT_PRIVATE, INIT_SHARED):
+            assert not legal_transition(firm, init)
+
+
+def test_shared_never_demotes_to_private():
+    # Once firmly shared, the clock stays shared until a race.
+    assert not legal_transition(SHARED, PRIVATE)
+
+
+def test_is_init_and_is_firm_partition():
+    for s in ALL:
+        assert is_init(s) != is_firm(s)
+
+
+def test_check_transition_raises_with_names():
+    with pytest.raises(AssertionError, match="race"):
+        check_transition(RACE, SHARED)
+    check_transition(INIT_SHARED, SHARED)  # no raise
+
+
+def test_state_names_cover_all():
+    assert len(STATE_NAMES) == len(ALL)

@@ -1,0 +1,134 @@
+"""Tests for lock-order (potential deadlock) and misuse detection."""
+
+from repro.detectors.deadlock import LOCK_MISUSE, LOCK_ORDER, LockOrderDetector
+from repro.runtime import Program, Scheduler, ops, replay
+
+
+def test_consistent_order_is_clean():
+    det = LockOrderDetector()
+    for tid in (0, 1):
+        det.on_acquire(tid, 1)
+        det.on_acquire(tid, 2)
+        det.on_release(tid, 2)
+        det.on_release(tid, 1)
+    det.finish()
+    assert det.races == []
+    assert det.statistics()["order_edges"] == 1
+
+
+def test_inverted_order_reported_even_without_hang():
+    """The classic AB/BA inversion: this particular schedule completes
+    fine, but the potential deadlock is flagged."""
+    det = LockOrderDetector()
+    det.on_acquire(0, 1)
+    det.on_acquire(0, 2)   # edge 1 -> 2
+    det.on_release(0, 2)
+    det.on_release(0, 1)
+    det.on_acquire(1, 2)
+    det.on_acquire(1, 1)   # edge 2 -> 1: cycle!
+    det.on_release(1, 1)
+    det.on_release(1, 2)
+    det.finish()
+    kinds = [r.kind for r in det.races]
+    assert kinds == [LOCK_ORDER]
+    assert det.potential_deadlock_pairs() == {(1, 2)}
+
+
+def test_inversion_reported_once():
+    det = LockOrderDetector()
+    for _ in range(3):
+        det.on_acquire(0, 1)
+        det.on_acquire(0, 2)
+        det.on_release(0, 2)
+        det.on_release(0, 1)
+        det.on_acquire(0, 2)
+        det.on_acquire(0, 1)
+        det.on_release(0, 1)
+        det.on_release(0, 2)
+    assert len([r for r in det.races if r.kind == LOCK_ORDER]) == 1
+
+
+def test_transitive_cycle_detected():
+    """1 -> 2, 2 -> 3, then 3 -> 1 closes a three-lock cycle."""
+    det = LockOrderDetector()
+    det.on_acquire(0, 1)
+    det.on_acquire(0, 2)
+    det.on_release(0, 2)
+    det.on_release(0, 1)
+    det.on_acquire(0, 2)
+    det.on_acquire(0, 3)
+    det.on_release(0, 3)
+    det.on_release(0, 2)
+    det.on_acquire(0, 3)
+    det.on_acquire(0, 1)
+    det.on_release(0, 1)
+    det.on_release(0, 3)
+    assert [r.kind for r in det.races] == [LOCK_ORDER]
+
+
+def test_recursive_acquire_is_misuse():
+    det = LockOrderDetector()
+    det.on_acquire(0, 1)
+    det.on_acquire(0, 1)
+    assert det.races[0].kind == LOCK_MISUSE
+
+
+def test_release_of_unheld_lock_is_misuse():
+    det = LockOrderDetector()
+    det.on_release(0, 1)
+    assert det.races[0].kind == LOCK_MISUSE
+
+
+def test_leaked_lock_reported_at_finish():
+    det = LockOrderDetector()
+    det.on_acquire(0, 1)
+    det.finish()
+    assert [r.kind for r in det.races] == [LOCK_MISUSE]
+
+
+def test_ordering_only_sync_ignored():
+    det = LockOrderDetector()
+    det.on_acquire(0, 1, is_lock=0)  # semaphore/barrier side
+    det.on_acquire(0, 2, is_lock=0)
+    det.finish()
+    assert det.races == []
+    assert det.statistics()["order_edges"] == 0
+
+
+def test_on_scheduled_program_with_inversion():
+    """End to end: the dining-philosophers-style inversion survives
+    scheduling (on a schedule that does not deadlock outright)."""
+    def t1():
+        yield ops.acquire(1)
+        yield ops.write(0x10, 4)
+        yield ops.acquire(2)
+        yield ops.release(2)
+        yield ops.release(1)
+
+    def t2():
+        yield ops.acquire(2)
+        yield ops.write(0x20, 4)
+        yield ops.acquire(1)
+        yield ops.release(1)
+        yield ops.release(2)
+
+    from repro.runtime.scheduler import SchedulerError
+
+    for seed in range(40):
+        try:
+            trace = Scheduler(seed=seed).run(Program.from_threads([t1, t2]))
+        except SchedulerError:
+            continue  # this schedule actually deadlocked
+        result = replay(trace, LockOrderDetector())
+        assert any(r.kind == LOCK_ORDER for r in result.races)
+        return
+    raise AssertionError("no completing schedule found")
+
+
+def test_statistics_shape():
+    det = LockOrderDetector()
+    det.on_acquire(0, 1)
+    det.on_acquire(0, 2)
+    stats = det.statistics()
+    assert stats["locks_seen"] == 2
+    assert stats["inversions"] == 0

@@ -1,0 +1,116 @@
+"""Unit tests for the hybrid (Inspector XE stand-in) detector."""
+
+from repro.detectors.inspector import HybridDetector
+
+
+def test_basic_race():
+    det = HybridDetector()
+    det.on_fork(0, 1)
+    det.on_write(0, 0x10, 1, site=1)
+    det.on_write(1, 0x10, 1, site=2)
+    assert len(det.races) == 1
+    assert det.races[0].kind == "write-write"
+
+
+def test_happens_before_suppresses_lockset_alarm():
+    """Unlike pure LockSet, the hybrid respects fork/join ordering."""
+    det = HybridDetector()
+    det.on_write(0, 0x10, 1)
+    det.on_fork(0, 1)
+    det.on_write(1, 0x10, 1)
+    assert det.races == []
+
+
+def test_common_lock_suppresses_report():
+    det = HybridDetector()
+    det.on_fork(0, 1)
+    det.on_acquire(0, 7)
+    det.on_write(0, 0x10, 1)
+    det.on_release(0, 7)
+    det.on_acquire(1, 7)
+    det.on_write(1, 0x10, 1)
+    det.on_release(1, 7)
+    assert det.races == []
+
+
+def test_dedup_by_instruction_pair_not_location():
+    det = HybridDetector()
+    det.on_fork(0, 1)
+    # Same site pair races on two different addresses: one report.
+    det.on_write(0, 0x10, 1, site=1)
+    det.on_write(1, 0x10, 1, site=2)
+    det.on_write(0, 0x20, 1, site=1)
+    det.on_write(1, 0x20, 1, site=2)
+    assert len(det.races) == 1
+    # A different site pair on an already-racy address: a new report.
+    det.on_acquire(1, 9)
+    det.on_release(1, 9)
+    det.on_write(1, 0x10, 1, site=3)
+    assert len(det.races) == 2
+
+
+def test_history_is_bounded():
+    det = HybridDetector()
+    for i in range(10):
+        det.on_acquire(0, 1)
+        det.on_release(0, 1)  # new epoch each time -> new history entries
+        det.on_write(0, 0x10, 1)
+    hist = det._table.get(0x10)
+    assert len(hist) == HybridDetector.HISTORY
+
+
+def test_read_read_not_a_race():
+    det = HybridDetector()
+    det.on_fork(0, 1)
+    det.on_read(0, 0x10, 4)
+    det.on_read(1, 0x10, 4)
+    assert det.races == []
+
+
+def test_write_read_race_kind():
+    det = HybridDetector()
+    det.on_fork(0, 1)
+    det.on_write(0, 0x10, 1, site=1)
+    det.on_read(1, 0x10, 1, site=2)
+    assert det.races[0].kind == "write-read"
+
+
+def test_memory_scales_with_history():
+    det = HybridDetector()
+    det.on_write(0, 0x10, 1)
+    one = det.memory.current[1]
+    det.on_acquire(0, 1)
+    det.on_release(0, 1)
+    det.on_write(0, 0x10, 1)
+    assert det.memory.current[1] == one + HybridDetector.ENTRY_BYTES
+
+
+def test_free_clears_history():
+    det = HybridDetector()
+    det.on_write(0, 0x100, 8)
+    det.on_free(0, 0x100, 8)
+    assert len(det._table) == 0
+    assert det.memory.current[1] == 0
+
+
+def test_lockset_snapshot_not_aliased():
+    """History entries must capture the lockset at access time, not a
+    live reference that later acquires would mutate."""
+    det = HybridDetector()
+    det.on_fork(0, 1)
+    det.on_write(0, 0x10, 1)          # no locks held
+    det.on_acquire(0, 7)              # now holds {7}...
+    det.on_acquire(1, 7)
+    # If the entry aliased the live set, {7} & {7} would wrongly
+    # suppress this report.
+    det.on_write(1, 0x10, 1)
+    assert len(det.races) == 1
+
+
+def test_statistics_shape():
+    det = HybridDetector()
+    det.on_write(0, 0x10, 4)
+    det.finish()
+    stats = det.statistics()
+    assert stats["history_entries"] == 4
+    assert stats["memory"]["peak"]["vector_clock"] > 0

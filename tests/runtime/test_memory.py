@@ -1,0 +1,78 @@
+"""Unit tests for the virtual heap."""
+
+import pytest
+
+from repro.runtime.memory import HeapError, VirtualHeap
+
+
+def test_alloc_alignment():
+    h = VirtualHeap()
+    a = h.alloc(3)
+    b = h.alloc(3)
+    assert a % VirtualHeap.ALIGN == 0
+    assert b % VirtualHeap.ALIGN == 0
+    assert b - a >= 16
+
+
+def test_free_and_reuse():
+    h = VirtualHeap()
+    a = h.alloc(64)
+    h.free(a)
+    b = h.alloc(64)
+    assert b == a  # same size class reuses the freed block
+
+
+def test_zero_size_allocation_rounds_up():
+    h = VirtualHeap()
+    a = h.alloc(0)
+    assert h.block_size(a) == VirtualHeap.ALIGN
+
+
+def test_negative_size_rejected():
+    with pytest.raises(HeapError):
+        VirtualHeap().alloc(-1)
+
+
+def test_double_free_rejected():
+    h = VirtualHeap()
+    a = h.alloc(8)
+    h.free(a)
+    with pytest.raises(HeapError):
+        h.free(a)
+
+
+def test_free_unknown_address_rejected():
+    with pytest.raises(HeapError):
+        VirtualHeap().free(0xDEAD)
+
+
+def test_stats_track_churn():
+    h = VirtualHeap()
+    for _ in range(10):
+        a = h.alloc(100)
+        h.free(a)
+    assert h.alloc_count == 10
+    assert h.free_count == 10
+    assert h.total_allocated == 10 * 112  # 100 rounded to 112
+    assert h.live_bytes == 0
+    assert h.peak_live_bytes == 112
+
+
+def test_peak_live_tracks_simultaneous_blocks():
+    h = VirtualHeap()
+    blocks = [h.alloc(16) for _ in range(5)]
+    assert h.peak_live_bytes == 80
+    for b in blocks:
+        h.free(b)
+    assert h.live_bytes == 0
+
+
+def test_is_live_and_block_size():
+    h = VirtualHeap()
+    a = h.alloc(24)
+    assert h.is_live(a)
+    assert h.block_size(a) == 32
+    h.free(a)
+    assert not h.is_live(a)
+    with pytest.raises(HeapError):
+        h.block_size(a)

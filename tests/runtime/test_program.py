@@ -1,0 +1,113 @@
+"""Unit tests for the program DSL, sync namespace, and event helpers."""
+
+import pytest
+
+from repro.runtime.events import (
+    ACQUIRE,
+    ALLOC,
+    READ,
+    RELEASE,
+    WRITE,
+    Event,
+    is_access,
+    is_sync,
+)
+from repro.runtime.program import (
+    BARRIER,
+    RD_ACQUIRE,
+    WR_RELEASE,
+    Program,
+    SyncNamespace,
+    as_iterator,
+    ops,
+)
+
+
+def test_ops_constructors_shape():
+    assert ops.read(0x10) == (READ, 0x10, 4, 0)
+    assert ops.write(0x10, 8, site=3) == (WRITE, 0x10, 8, 3)
+    assert ops.acquire(5) == (ACQUIRE, 5, 0, 0)
+    assert ops.release(5, site=2) == (RELEASE, 5, 0, 2)
+    assert ops.alloc(64)[0] == ALLOC
+    assert ops.barrier(7, 3) == (BARRIER, 7, 3, 0)
+    assert ops.rd_acquire(9) == (RD_ACQUIRE, 9, 0, 0)
+    assert ops.wr_release(9, site=1) == (WR_RELEASE, 9, 0, 1)
+
+
+def test_ops_locked_brackets_body():
+    seq = list(ops.locked(5, [ops.write(0x10, 4), ops.read(0x10, 4)]))
+    assert seq[0] == ops.acquire(5)
+    assert seq[-1] == ops.release(5)
+    assert len(seq) == 4
+
+
+def test_sync_namespace_unique_ids():
+    ns = SyncNamespace()
+    ids = [ns.lock() for _ in range(5)]
+    assert len(set(ids)) == 5
+    batch = ns.new(3)
+    assert len(batch) == 3
+    assert not set(batch) & set(ids)
+
+
+def test_sync_namespace_rwlock_reserves_pair():
+    ns = SyncNamespace(start=100)
+    rw = ns.rwlock()
+    nxt = ns.lock()
+    assert nxt == rw + 2
+
+
+def test_as_iterator_accepts_generator_function():
+    def gen():
+        yield ops.read(0x10)
+
+    it = as_iterator(gen)
+    assert hasattr(it, "send")
+
+
+def test_as_iterator_wraps_plain_list():
+    it = as_iterator([ops.read(0x10)])
+    assert hasattr(it, "send")
+    assert next(it) == ops.read(0x10)
+
+
+def test_as_iterator_wraps_callable_returning_list():
+    it = as_iterator(lambda: [ops.read(0x10)])
+    assert next(it) == ops.read(0x10)
+
+
+def test_program_repr():
+    assert "demo" in repr(Program([], name="demo"))
+
+
+def test_from_threads_setup_teardown_order():
+    from repro.runtime.scheduler import Scheduler
+
+    setup = [ops.write(0x10, 4, site=1)]
+    teardown = [ops.read(0x10, 4, site=9)]
+
+    def body():
+        yield ops.write(0x20, 4, site=5)
+
+    trace = Scheduler(seed=0).run(
+        Program.from_threads([body], setup=setup, teardown=teardown)
+    )
+    sites = [e[4] for e in trace if e[0] in (READ, WRITE)]
+    assert sites[0] == 1
+    assert sites[-1] == 9
+
+
+def test_event_helpers():
+    assert is_access(READ) and is_access(WRITE)
+    assert not is_access(ACQUIRE)
+    assert is_sync(ACQUIRE) and is_sync(RELEASE)
+    assert not is_sync(READ)
+    ev = Event(WRITE, 2, 0x10, 4, 7)
+    assert ev.op_name == "write"
+    assert "T2" in str(ev)
+
+
+def test_event_table_documents_lock_flag():
+    import repro.runtime.events as events_mod
+
+    assert "ordering-only" in events_mod.__doc__

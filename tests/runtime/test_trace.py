@@ -1,0 +1,66 @@
+"""Unit tests for traces: stats, structured view, serialization."""
+
+import os
+
+from repro.runtime import Program, Scheduler, ops
+from repro.runtime.events import READ, WRITE, Event
+from repro.runtime.trace import Trace
+
+
+def _sample_trace():
+    def body():
+        yield ops.acquire(1)
+        yield ops.write(0x1000, 4, site=3)
+        yield ops.read(0x1000, 4, site=4)
+        yield ops.release(1)
+
+    return Scheduler(seed=0).run(Program.from_threads([body, body], name="s"))
+
+
+def test_op_counts():
+    trace = _sample_trace()
+    counts = trace.op_counts()
+    assert counts["write"] == 2
+    assert counts["read"] == 2
+    assert counts["acquire"] == 2
+    assert counts["fork"] == 2
+
+
+def test_shared_accesses_counts_reads_and_writes():
+    trace = _sample_trace()
+    assert trace.shared_accesses == 4
+
+
+def test_sync_ops_count():
+    trace = _sample_trace()
+    # 2 acquires + 2 releases + 2 forks + 2 joins
+    assert trace.sync_ops == 8
+
+
+def test_touched_addresses():
+    trace = Trace([(WRITE, 0, 0x10, 4, 0), (READ, 0, 0x12, 4, 0)])
+    assert trace.touched_addresses() == 6
+
+
+def test_structured_iteration():
+    trace = Trace([(WRITE, 1, 0x10, 4, 9)])
+    ev = next(trace.structured())
+    assert isinstance(ev, Event)
+    assert ev.op_name == "write"
+    assert "T1 write" in str(ev)
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = _sample_trace()
+    path = os.path.join(tmp_path, "t.npz")
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.events == trace.events
+    assert loaded.name == trace.name
+    assert loaded.n_threads == trace.n_threads
+    assert loaded.heap_stats == trace.heap_stats
+
+
+def test_repr():
+    trace = _sample_trace()
+    assert "events=" in repr(trace)

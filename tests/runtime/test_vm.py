@@ -1,0 +1,56 @@
+"""Unit tests for the replay VM."""
+
+from repro.detectors import create_detector
+from repro.runtime import Program, Scheduler, bare_replay, ops, replay, run_program
+
+
+def _racy_program():
+    def body():
+        yield ops.write(0x1000, 4, site=1)
+
+    return Program.from_threads([body, body], name="racy")
+
+
+def test_replay_collects_races_and_stats():
+    trace = Scheduler(seed=0).run(_racy_program())
+    res = replay(trace, create_detector("fasttrack-byte"))
+    assert res.race_count == 4
+    assert res.events == len(trace)
+    assert res.wall_time > 0
+    assert res.detector_name == "fasttrack-byte"
+    assert res.trace_name == "racy"
+    assert "same_epoch_hits" in res.stats
+
+
+def test_bare_replay_returns_positive_time():
+    trace = Scheduler(seed=0).run(_racy_program())
+    assert bare_replay(trace) > 0
+
+
+def test_slowdown_ratio():
+    trace = Scheduler(seed=0).run(_racy_program())
+    res = replay(trace, create_detector("fasttrack-byte"))
+    assert res.slowdown(res.wall_time) == 1.0
+    assert res.slowdown(0.0) == float("inf")
+
+
+def test_run_program_convenience():
+    res = run_program(_racy_program(), create_detector("dynamic"), seed=1)
+    assert res.race_count > 0
+
+
+def test_all_event_kinds_dispatch():
+    LOCK = 1
+
+    def body():
+        a = yield ops.alloc(32)
+        yield ops.acquire(LOCK)
+        yield ops.write(a, 4)
+        yield ops.read(a, 4)
+        yield ops.release(LOCK)
+        yield ops.free(a, 32)
+
+    res = run_program(
+        Program.from_threads([body, body]), create_detector("fasttrack-byte")
+    )
+    assert res.race_count == 0

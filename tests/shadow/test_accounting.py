@@ -1,0 +1,64 @@
+"""Unit tests for the object-size memory model."""
+
+from repro.shadow.accounting import (
+    BITMAP,
+    HASH,
+    VECTOR_CLOCK,
+    MemoryModel,
+    SizeModel,
+)
+
+
+def test_add_tracks_current_and_peak():
+    m = MemoryModel()
+    m.add(HASH, 100)
+    m.add(HASH, 50)
+    m.sub(HASH, 120)
+    assert m.current[HASH] == 30
+    assert m.peak[HASH] == 150
+
+
+def test_per_category_independence():
+    m = MemoryModel()
+    m.add(HASH, 10)
+    m.add(VECTOR_CLOCK, 20)
+    m.add(BITMAP, 5)
+    assert m.hash_peak == 10
+    assert m.vc_peak == 20
+    assert m.bitmap_peak == 5
+
+
+def test_total_peak_is_peak_of_sum():
+    m = MemoryModel()
+    m.add(HASH, 100)
+    m.sub(HASH, 100)
+    m.add(VECTOR_CLOCK, 60)
+    # hash peaked at 100, vc at 60, but never simultaneously.
+    assert m.total_peak == 100
+    m.add(HASH, 70)
+    assert m.total_peak == 130
+
+
+def test_snapshot_structure():
+    m = MemoryModel()
+    m.add(BITMAP, 7)
+    snap = m.snapshot()
+    assert snap["current"]["bitmap"] == 7
+    assert snap["peak"]["bitmap"] == 7
+    assert snap["total_peak"] == 7
+
+
+def test_size_model_vc_bytes_scales_with_width():
+    sz = SizeModel()
+    assert sz.vc_bytes(1) == sz.vc_header + sz.vc_element
+    assert sz.vc_bytes(8) - sz.vc_bytes(4) == 4 * sz.vc_element
+
+
+def test_size_model_is_frozen():
+    sz = SizeModel()
+    try:
+        sz.pointer = 8
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("SizeModel should be immutable")

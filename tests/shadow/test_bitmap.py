@@ -1,0 +1,69 @@
+"""Unit tests for the per-thread same-epoch bitmap."""
+
+from repro.shadow.bitmap import PAGE_SIZE, EpochBitmap
+
+
+def test_first_access_not_seen():
+    bm = EpochBitmap()
+    assert not bm.test_and_set(0x1000, 4)
+
+
+def test_repeat_access_seen():
+    bm = EpochBitmap()
+    bm.test_and_set(0x1000, 4)
+    assert bm.test_and_set(0x1000, 4)
+
+
+def test_partial_overlap_not_fully_seen():
+    bm = EpochBitmap()
+    bm.test_and_set(0x1000, 4)
+    assert not bm.test_and_set(0x1002, 4)  # bytes 0x1004-5 are new
+    assert bm.test_and_set(0x1000, 6)
+
+
+def test_subrange_is_seen():
+    bm = EpochBitmap()
+    bm.test_and_set(0x1000, 8)
+    assert bm.test_and_set(0x1002, 2)
+
+
+def test_reset_clears_everything():
+    bm = EpochBitmap()
+    bm.test_and_set(0x1000, 8)
+    bm.reset()
+    assert not bm.test(0x1000, 1)
+    assert not bm.test_and_set(0x1000, 8)
+
+
+def test_page_crossing_access():
+    bm = EpochBitmap()
+    addr = PAGE_SIZE - 2
+    assert not bm.test_and_set(addr, 4)
+    assert bm.test(addr, 4)
+    assert bm.test_and_set(addr, 4)
+    assert bm.live_pages == 2
+
+
+def test_page_crossing_partial():
+    bm = EpochBitmap()
+    addr = PAGE_SIZE - 2
+    bm.test_and_set(addr, 2)  # only the first page's tail
+    assert not bm.test_and_set(addr, 4)
+
+
+def test_peak_pages_survive_reset():
+    bm = EpochBitmap()
+    bm.test_and_set(0, 1)
+    bm.test_and_set(PAGE_SIZE * 5, 1)
+    assert bm.pages_touched_peak == 2
+    bm.reset()
+    assert bm.live_pages == 0
+    assert bm.pages_touched_peak == 2
+
+
+def test_test_without_set():
+    bm = EpochBitmap()
+    assert not bm.test(0x42, 1)
+    bm.test_and_set(0x42, 1)
+    assert bm.test(0x42, 1)
+    assert not bm.test(0x42, 2)

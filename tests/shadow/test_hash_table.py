@@ -1,0 +1,170 @@
+"""Unit tests for the Fig. 4 shadow indexing structure."""
+
+import pytest
+
+from repro.shadow.hash_table import ShadowTable
+
+
+def test_set_get_roundtrip():
+    t = ShadowTable()
+    t.set(0x1000, "a")
+    assert t.get(0x1000) == "a"
+    assert t.get(0x1001) is None
+
+
+def test_rejects_non_power_of_two_m():
+    with pytest.raises(ValueError):
+        ShadowTable(m=100)
+
+
+def test_rejects_none_value():
+    with pytest.raises(ValueError):
+        ShadowTable().set(0, None)
+
+
+def test_entry_starts_with_quarter_slots():
+    t = ShadowTable(m=128)
+    t.set(0x1000, "a")  # word-aligned
+    assert t.entry_count == 1
+    assert t.slot_count == 32
+
+
+def test_byte_access_expands_entry():
+    t = ShadowTable(m=128)
+    t.set(0x1000, "a")
+    assert t.slot_count == 32
+    t.set(0x1001, "b")  # non-word-aligned address
+    assert t.slot_count == 128
+    # Existing word-aligned record survives the remap.
+    assert t.get(0x1000) == "a"
+    assert t.get(0x1001) == "b"
+
+
+def test_word_aligned_only_never_expands():
+    t = ShadowTable(m=128)
+    for a in range(0x2000, 0x2080, 4):
+        t.set(a, a)
+    assert t.slot_count == 32
+    for a in range(0x2000, 0x2080, 4):
+        assert t.get(a) == a
+
+
+def test_resize_callback_reports_growth():
+    calls = []
+    t = ShadowTable(m=128, on_resize=lambda o, n: calls.append((o, n)))
+    t.set(0x1000, "a")
+    t.set(0x1003, "b")
+    assert calls == [(0, 32), (32, 128)]
+
+
+def test_unaligned_get_on_small_entry_is_none():
+    t = ShadowTable(m=128)
+    t.set(0x1000, "a")
+    assert t.get(0x1002) is None  # half-word offset, entry still small
+
+
+def test_delete():
+    t = ShadowTable()
+    t.set(0x30, "x")
+    assert t.delete(0x30)
+    assert t.get(0x30) is None
+    assert not t.delete(0x30)
+    assert len(t) == 0
+
+
+def test_len_counts_items():
+    t = ShadowTable()
+    for a in range(10):
+        t.set(0x500 + a, a)
+    assert len(t) == 10
+
+
+def test_delete_range_spans_entries():
+    t = ShadowTable(m=128)
+    for a in range(0x1000, 0x1200):
+        t.set(a, a)
+    removed = t.delete_range(0x1040, 0x180)
+    assert removed == 0x180
+    assert t.get(0x103F) == 0x103F
+    assert t.get(0x1040) is None
+    assert t.get(0x11BF) is None
+    assert t.get(0x11C0) == 0x11C0
+
+
+def test_delete_range_on_small_entries():
+    t = ShadowTable(m=128)
+    for a in range(0x1000, 0x1100, 4):
+        t.set(a, a)
+    removed = t.delete_range(0x1000, 0x100)
+    assert removed == 64
+    assert len(t) == 0
+
+
+def test_items_in_range_ordered():
+    t = ShadowTable()
+    t.set(0x10, "a")
+    t.set(0x12, "b")
+    t.set(0x20, "c")
+    assert list(t.items_in_range(0x10, 0x10)) == [(0x10, "a"), (0x12, "b")]
+
+
+def test_predecessor_and_successor():
+    t = ShadowTable()
+    t.set(0x100, "a")
+    t.set(0x110, "b")
+    assert t.predecessor(0x110, limit=32) == (0x100, "a")
+    assert t.successor(0x100, limit=32) == (0x110, "b")
+    assert t.predecessor(0x100, limit=32) is None
+    assert t.successor(0x110, limit=8) is None
+
+
+def test_predecessor_stops_at_zero():
+    t = ShadowTable()
+    assert t.predecessor(4, limit=128) is None
+
+
+def test_contains():
+    t = ShadowTable()
+    t.set(0x44, 1)
+    assert 0x44 in t
+    assert 0x45 not in t
+
+
+def test_items_iterates_all_records():
+    t = ShadowTable(m=128)
+    expected = {}
+    for a in (0x10, 0x11, 0x1000, 0x2004):
+        t.set(a, a * 2)
+        expected[a] = a * 2
+    assert dict(t.items()) == expected
+
+
+def test_items_on_small_word_entries():
+    t = ShadowTable(m=128)
+    t.set(0x100, "a")
+    t.set(0x104, "b")  # entry stays word-indexed
+    assert dict(t.items()) == {0x100: "a", 0x104: "b"}
+
+
+def test_get_run_none_when_crossing_entries():
+    t = ShadowTable(m=64)
+    assert t.get_run(60, 70) is None  # crosses the 64-byte boundary
+
+
+def test_get_run_none_on_word_entry():
+    t = ShadowTable(m=128)
+    t.set(0x100, "a")  # small entry
+    assert t.get_run(0x100, 0x108) is None
+
+
+def test_get_run_on_missing_entry_is_all_none():
+    t = ShadowTable(m=128)
+    run = t.get_run(0x500, 0x508)
+    assert run == [None] * 8
+
+
+def test_set_range_single_aligned_byte_keeps_small_entry():
+    t = ShadowTable(m=128)
+    t.set_range(0x100, 0x101, "x")  # one word-aligned byte
+    assert t.slot_count == 32       # no expansion needed
+    assert t.get(0x100) == "x"

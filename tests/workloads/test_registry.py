@@ -1,0 +1,74 @@
+"""Tests for the workload catalogue and generator invariants."""
+
+import pytest
+
+from repro.runtime.events import READ, WRITE
+from repro.workloads.registry import (
+    all_workloads,
+    build_trace,
+    get_workload,
+    workload_names,
+)
+
+PAPER_BENCHMARKS = {
+    "facesim",
+    "ferret",
+    "fluidanimate",
+    "raytrace",
+    "x264",
+    "canneal",
+    "dedup",
+    "streamcluster",
+    "ffmpeg",
+    "pbzip2",
+    "hmmsearch",
+}
+
+
+def test_all_eleven_paper_benchmarks_present():
+    assert set(workload_names()) == PAPER_BENCHMARKS
+    assert len(all_workloads()) == 11
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(ValueError, match="pbzip2"):
+        get_workload("nope")
+
+
+def test_build_trace_convenience():
+    trace = build_trace("hmmsearch", scale=0.2, seed=3)
+    assert len(trace) > 0
+    assert trace.name == "hmmsearch"
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_BENCHMARKS))
+def test_workload_schedules_and_has_accesses(name):
+    trace = get_workload(name).trace(scale=0.2, seed=2)
+    assert trace.shared_accesses > 50
+    assert trace.n_threads >= 3
+    # every access is byte-addressed with a positive size
+    for ev in trace:
+        if ev[0] in (READ, WRITE):
+            assert ev[3] >= 1
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_BENCHMARKS))
+def test_workload_deterministic_per_seed(name):
+    w = get_workload(name)
+    t1 = w.trace(scale=0.2, seed=5)
+    t2 = w.trace(scale=0.2, seed=5)
+    assert t1.events == t2.events
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_BENCHMARKS))
+def test_workload_scale_grows_events(name):
+    w = get_workload(name)
+    small = len(w.trace(scale=0.2, seed=1))
+    large = len(w.trace(scale=1.0, seed=1))
+    assert large > small
+
+
+def test_thread_counts_match_metadata():
+    for w in all_workloads():
+        trace = w.trace(scale=0.2, seed=1)
+        assert trace.n_threads == w.threads, w.name
