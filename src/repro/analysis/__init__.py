@@ -8,7 +8,12 @@
   paper's library-suppression rules.
 """
 
-from repro.analysis.compare import Comparison, compare_detectors, format_comparison
+from repro.analysis.compare import (
+    Comparison,
+    compare_detectors,
+    compare_instances,
+    format_comparison,
+)
 from repro.analysis.fuzz import FuzzResult, format_fuzz_result, fuzz_schedules
 from repro.analysis.hbgraph import build_hb_graph, concurrent_access_pairs, racy_bytes
 from repro.analysis.metrics import Measurement, measure, measure_many
@@ -28,6 +33,7 @@ from repro.analysis.tables import (
 __all__ = [
     "Comparison",
     "compare_detectors",
+    "compare_instances",
     "format_comparison",
     "SuppressionSet",
     "default_suppression_set",

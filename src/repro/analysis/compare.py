@@ -10,9 +10,10 @@ disagree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from repro.detectors.base import RaceReport
 from repro.detectors.registry import create_detector
 from repro.runtime.trace import Trace
 from repro.runtime.vm import replay
@@ -30,6 +31,9 @@ class Comparison:
     counts: Dict[str, int]
     #: detector -> wall time
     times: Dict[str, float]
+    #: detector -> the raw reports (for per-race attribution, e.g. the
+    #: differential oracle's group-mate clustering)
+    reports: Dict[str, List[RaceReport]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -72,6 +76,35 @@ class Comparison:
         return out
 
 
+def compare_instances(
+    trace: Trace,
+    detectors: Mapping[str, object],
+) -> Comparison:
+    """Replay ``trace`` through pre-built detector instances.
+
+    The lower-level sibling of :func:`compare_detectors`: callers that
+    need custom instances (ablation configs, instrumented probes) build
+    them and still get one :class:`Comparison`.
+    """
+    addresses: Dict[str, FrozenSet[int]] = {}
+    counts: Dict[str, int] = {}
+    times: Dict[str, float] = {}
+    reports: Dict[str, List[RaceReport]] = {}
+    for name, det in detectors.items():
+        result = replay(trace, det)
+        addresses[name] = frozenset(r.addr for r in result.races)
+        counts[name] = result.race_count
+        times[name] = result.wall_time
+        reports[name] = list(result.races)
+    return Comparison(
+        trace_name=trace.name,
+        addresses=addresses,
+        counts=counts,
+        times=times,
+        reports=reports,
+    )
+
+
 def compare_detectors(
     trace: Trace,
     detectors: Sequence[str],
@@ -81,20 +114,12 @@ def compare_detectors(
     """Replay ``trace`` through every named detector."""
     suppress = default_suppression if suppress_libraries else None
     kwargs = detector_kwargs or {}
-    addresses: Dict[str, FrozenSet[int]] = {}
-    counts: Dict[str, int] = {}
-    times: Dict[str, float] = {}
-    for name in detectors:
-        det = create_detector(name, suppress=suppress, **kwargs.get(name, {}))
-        result = replay(trace, det)
-        addresses[name] = frozenset(r.addr for r in result.races)
-        counts[name] = result.race_count
-        times[name] = result.wall_time
-    return Comparison(
-        trace_name=trace.name,
-        addresses=addresses,
-        counts=counts,
-        times=times,
+    return compare_instances(
+        trace,
+        {
+            name: create_detector(name, suppress=suppress, **kwargs.get(name, {}))
+            for name in detectors
+        },
     )
 
 

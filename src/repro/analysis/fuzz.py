@@ -26,6 +26,9 @@ class FuzzResult:
     trials: int
     racy_runs: int
     deadlocked_runs: int
+    #: deadlocked runs that raced before blocking (subset of both
+    #: ``racy_runs`` and ``deadlocked_runs``)
+    racy_deadlocked_runs: int = 0
     #: racy byte address -> number of seeds it manifested under
     address_hits: Dict[int, int] = field(default_factory=dict)
     #: (site, prev_site) -> hits, for triage
@@ -35,9 +38,14 @@ class FuzzResult:
 
     @property
     def manifestation_rate(self) -> float:
-        """Fraction of schedules under which at least one race fired."""
-        runs = self.trials - self.deadlocked_runs
-        return self.racy_runs / runs if runs else 0.0
+        """Fraction of schedules under which at least one race fired.
+
+        A deadlocked schedule still executed its prefix, and a race in
+        that prefix manifested — so every trial counts in the
+        denominator and racy-then-deadlocked runs count in the
+        numerator.
+        """
+        return self.racy_runs / self.trials if self.trials else 0.0
 
     def flakiest_addresses(self, n: int = 5) -> List[Tuple[int, int]]:
         """Addresses that raced under the *fewest* schedules — the
@@ -62,22 +70,16 @@ def fuzz_schedules(
     cannot be rerun).  A small scheduling quantum maximizes observed
     interleavings; ``policy="pct"`` switches to Probabilistic
     Concurrency Testing priorities (better at surfacing rare orderings
-    of known depth).  Deadlocking schedules are counted, not fatal.
+    of known depth).  Deadlocking schedules are counted, not fatal —
+    and a run that raced *before* deadlocking still counts as racy
+    (its executed prefix is detected on).
     """
     seed_list = list(seeds) if seeds is not None else list(range(trials))
     result = FuzzResult(trials=len(seed_list), racy_runs=0, deadlocked_runs=0)
     suppress = default_suppression if suppress_libraries else None
-    for seed in seed_list:
-        try:
-            trace = Scheduler(
-                seed=seed, quantum=quantum, policy=policy, depth=depth
-            ).run(program_factory())
-        except SchedulerError:
-            result.deadlocked_runs += 1
-            continue
+
+    def detect(trace, seed) -> bool:
         races = replay(trace, create_detector(detector, suppress=suppress)).races
-        if races:
-            result.racy_runs += 1
         for race in races:
             result.address_hits[race.addr] = (
                 result.address_hits.get(race.addr, 0) + 1
@@ -88,14 +90,32 @@ def fuzz_schedules(
             result.site_pair_hits[pair] = (
                 result.site_pair_hits.get(pair, 0) + 1
             )
+        return bool(races)
+
+    for seed in seed_list:
+        try:
+            trace = Scheduler(
+                seed=seed, quantum=quantum, policy=policy, depth=depth
+            ).run(program_factory())
+        except SchedulerError as err:
+            result.deadlocked_runs += 1
+            if err.partial_trace is not None and detect(err.partial_trace, seed):
+                result.racy_runs += 1
+                result.racy_deadlocked_runs += 1
+            continue
+        if detect(trace, seed):
+            result.racy_runs += 1
     return result
 
 
 def format_fuzz_result(result: FuzzResult, limit: int = 8) -> str:
     """Human-readable campaign summary."""
+    deadlocked = f"{result.deadlocked_runs} deadlocked"
+    if result.racy_deadlocked_runs:
+        deadlocked += f" ({result.racy_deadlocked_runs} racy before blocking)"
     lines = [
         f"{result.trials} schedules explored: "
-        f"{result.racy_runs} racy, {result.deadlocked_runs} deadlocked "
+        f"{result.racy_runs} racy, {deadlocked} "
         f"(manifestation rate {result.manifestation_rate:.0%})"
     ]
     if result.address_hits:

@@ -11,6 +11,10 @@
     repro-race compare -w x264 -d fasttrack-byte,dynamic,drd
     repro-race replay trace.npz --detector fasttrack-byte
     repro-race record --workload ferret --out trace.npz
+    repro-race shrink --workload ffmpeg --out minimal.npz
+    repro-race conform --workload streamcluster --seeds 3
+    repro-race golden regen
+    repro-race golden verify
 """
 
 from __future__ import annotations
@@ -135,6 +139,48 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--max-races", type=int, default=20)
 
+    shrink = sub.add_parser(
+        "shrink",
+        help="delta-debug a racy workload/trace to a minimal reproducer",
+    )
+    src = shrink.add_mutually_exclusive_group(required=True)
+    src.add_argument("--workload", "-w", choices=_all_runnable())
+    src.add_argument("--trace", help="a recorded .npz trace instead")
+    shrink.add_argument(
+        "--detector", "-d", default="fasttrack-byte",
+        choices=available_detectors(),
+        help="detector whose races must keep manifesting",
+    )
+    shrink.add_argument("--scale", type=float, default=0.3)
+    shrink.add_argument("--seed", type=int, default=1)
+    shrink.add_argument(
+        "--addr",
+        action="append",
+        help="racy address to preserve (hex ok; repeatable; "
+        "default: every racy address)",
+    )
+    shrink.add_argument("--max-evals", type=int, default=5000)
+    shrink.add_argument("--out", "-o", help="save the minimized trace here")
+
+    conform = sub.add_parser(
+        "conform",
+        help="differential oracle: dynamic granularity vs byte FastTrack",
+    )
+    conform.add_argument("--workload", "-w", required=True,
+                         choices=_all_runnable())
+    conform.add_argument(
+        "--seeds", type=int, default=3, help="check schedules 0..N-1"
+    )
+    conform.add_argument("--scale", type=float, default=0.3)
+
+    golden = sub.add_parser(
+        "golden", help="manage the golden-trace regression corpus"
+    )
+    golden.add_argument("action", choices=("regen", "verify"))
+    golden.add_argument(
+        "--dir", help="corpus directory (default: tests/golden)"
+    )
+
     return parser
 
 
@@ -256,6 +302,98 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _is_int_literal(text: str) -> bool:
+    try:
+        int(text, 0)
+        return True
+    except ValueError:
+        return False
+
+
+def _cmd_shrink(args) -> int:
+    from repro.testing.shrink import racy_at, shrink_trace
+
+    if args.trace:
+        trace = Trace.load(args.trace)
+    else:
+        trace = _resolve(args.workload).trace(scale=args.scale, seed=args.seed)
+    det = create_detector(args.detector, suppress=default_suppression)
+    racy = sorted({r.addr for r in replay(trace, det).races})
+    if args.addr:
+        try:
+            target = [int(a, 0) for a in args.addr]
+        except ValueError:
+            bad = [a for a in args.addr if not _is_int_literal(a)]
+            print(f"bad --addr value(s): {', '.join(bad)} "
+                  "(expected hex like 0x1000 or decimal)")
+            return 2
+        missing = [a for a in target if a not in racy]
+        if missing:
+            print(
+                f"{args.detector} reports no race at "
+                f"{', '.join(hex(a) for a in missing)}"
+            )
+            return 1
+    else:
+        target = racy
+    if not target:
+        print(f"{args.detector} found no races on {trace.name}; "
+              "nothing to shrink")
+        return 1
+    result = shrink_trace(
+        trace,
+        racy_at(target, detector=args.detector),
+        max_evals=args.max_evals,
+    )
+    print(result.format())
+    print(
+        f"preserved racy address(es): {', '.join(hex(a) for a in target)}"
+    )
+    if args.out:
+        result.minimized.save(args.out)
+        print(f"saved {len(result.minimized)} events to {args.out}")
+    return 0
+
+
+def _cmd_conform(args) -> int:
+    from repro.testing.oracle import differential_check
+
+    workload = _resolve(args.workload)
+    unexplained = 0
+    for seed in range(args.seeds):
+        trace = workload.trace(scale=args.scale, seed=seed)
+        report = differential_check(trace)
+        print(f"seed {seed}:")
+        print("  " + report.format().replace("\n", "\n  "))
+        unexplained += len(report.unexplained)
+    if unexplained:
+        print(f"FAIL: {unexplained} unexplained divergence(s)")
+        return 1
+    print(f"OK: {args.seeds} schedule(s), every divergence explained")
+    return 0
+
+
+def _cmd_golden(args) -> int:
+    from repro.testing import golden
+
+    corpus_dir = args.dir or golden.default_corpus_dir()
+    if args.action == "regen":
+        manifest = golden.regenerate(corpus_dir)
+        for name, record in sorted(manifest.items()):
+            races = {d: len(a) for d, a in record["races"].items()}
+            print(f"  {name:22s} {record['events']:6d} events, races {races}")
+        print(f"regenerated {len(manifest)} entries in {corpus_dir}")
+        return 0
+    problems = golden.verify(corpus_dir)
+    if problems:
+        for p in problems:
+            print(f"  {p}")
+        print(f"FAIL: {len(problems)} problem(s) in {corpus_dir}")
+        return 1
+    print(f"OK: golden corpus in {corpus_dir} verified")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-race`` console script."""
     args = _build_parser().parse_args(argv)
@@ -277,6 +415,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_hbgraph(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "shrink":
+        return _cmd_shrink(args)
+    if args.command == "conform":
+        return _cmd_conform(args)
+    if args.command == "golden":
+        return _cmd_golden(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -46,7 +46,15 @@ FINISHED = 2
 
 
 class SchedulerError(RuntimeError):
-    """Raised on deadlock or on a request the scheduler cannot satisfy."""
+    """Raised on deadlock or on a request the scheduler cannot satisfy.
+
+    On deadlock, ``partial_trace`` carries the events executed up to the
+    point every thread blocked — a racy prefix still holds its races, so
+    analyses (the schedule fuzzer, the minimizer) can detect on it
+    instead of discarding the run.
+    """
+
+    partial_trace: Optional[Trace] = None
 
 
 class _Thread:
@@ -176,7 +184,11 @@ class Scheduler:
                     for t in threads.values()
                     if t.state == BLOCKED
                 }
-                raise SchedulerError(f"deadlock: blocked threads {blocked}")
+                err = SchedulerError(f"deadlock: blocked threads {blocked}")
+                err.partial_trace = self._finalize(
+                    program, events, next_tid, heap
+                )
+                raise err
             if pct:
                 for tid in runnable:
                     if tid not in priorities:

@@ -7,11 +7,11 @@ interleaving — the property that makes per-detector comparisons fair.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.runtime.events import ACQUIRE, JOIN, OP_NAMES, WRITE, Event
+from repro.runtime.events import ACQUIRE, ALLOC, FREE, JOIN, OP_NAMES, WRITE, Event
 
 
 class Trace:
@@ -74,6 +74,45 @@ class Trace:
                 base, size = ev[2], ev[3]
                 seen.update(range(base, base + size))
         return len(seen)
+
+    # ------------------------------------------------------------------
+    # slicing (delta-debugging / minimization support)
+    # ------------------------------------------------------------------
+    def subset(self, keep: Sequence[int], name: Optional[str] = None) -> "Trace":
+        """A new trace containing only the events at ``keep`` (event
+        indexes, in ascending order), preserving run metadata.
+
+        Detectors replay partial traces fine (unknown threads get fresh
+        clocks), so any subset is a valid minimization candidate.
+        """
+        events = [self.events[i] for i in keep]
+        return Trace(
+            events,
+            name=name if name is not None else self.name,
+            n_threads=self.n_threads,
+            heap_stats=dict(self.heap_stats),
+        )
+
+    def tids(self) -> Set[int]:
+        """Thread ids that issued at least one event."""
+        return {ev[1] for ev in self.events}
+
+    def without_threads(self, drop: Set[int], name: Optional[str] = None) -> "Trace":
+        """A new trace with every event of the ``drop`` threads removed."""
+        keep = [i for i, ev in enumerate(self.events) if ev[1] not in drop]
+        return self.subset(keep, name=name)
+
+    def indices_touching(self, lo: int, hi: int) -> List[int]:
+        """Indexes of memory events (accesses and heap ops) whose byte
+        range intersects ``[lo, hi)``."""
+        out = []
+        for i, ev in enumerate(self.events):
+            op = ev[0]
+            if op <= WRITE or op == ALLOC or op == FREE:
+                base, size = ev[2], ev[3]
+                if base < hi and base + size > lo:
+                    out.append(i)
+        return out
 
     # ------------------------------------------------------------------
     # serialization (record/replay support)

@@ -1,0 +1,68 @@
+"""Correctness tooling: the machinery that lets detector hot paths be
+refactored without being precious about existing code.
+
+* :mod:`repro.testing.oracle` — differential conformance oracle: replay
+  one trace through byte FastTrack (reference) and the
+  dynamic-granularity detector (candidate), classify every divergence
+  as an allowed granularity effect or a conformance bug.
+* :mod:`repro.testing.shrink` — delta-debugging minimizer: reduce any
+  racy or divergent trace to a minimal reproducer
+  (``repro-race shrink``).
+* :mod:`repro.testing.golden` — golden-trace corpus management: pinned
+  traces plus expected race reports under ``tests/golden/``, with a
+  deterministic regeneration tool (``repro-race golden``).
+* :mod:`repro.testing.probe` — instrumented dynamic detector recording
+  read-sharing provenance for miss attribution.
+"""
+
+from repro.testing.oracle import (
+    COARSE_UPDATE_EXTRA,
+    GROUP_MATE_EXTRA,
+    READ_GROUP_LOSS,
+    UNEXPLAINED_EXTRA,
+    UNEXPLAINED_MISSING,
+    Divergence,
+    OracleReport,
+    differential_check,
+)
+from repro.testing.probe import ProbedDynamicDetector
+from repro.testing.shrink import (
+    ShrinkBudgetExceeded,
+    ShrinkResult,
+    diverges,
+    racy_at,
+    shrink_trace,
+)
+from repro.testing.golden import (
+    DEFAULT_ENTRIES,
+    GoldenEntry,
+    build_entry,
+    default_corpus_dir,
+    load_manifest,
+    regenerate,
+    verify,
+)
+
+__all__ = [
+    "COARSE_UPDATE_EXTRA",
+    "GROUP_MATE_EXTRA",
+    "READ_GROUP_LOSS",
+    "UNEXPLAINED_EXTRA",
+    "UNEXPLAINED_MISSING",
+    "Divergence",
+    "OracleReport",
+    "differential_check",
+    "ProbedDynamicDetector",
+    "ShrinkBudgetExceeded",
+    "ShrinkResult",
+    "diverges",
+    "racy_at",
+    "shrink_trace",
+    "DEFAULT_ENTRIES",
+    "GoldenEntry",
+    "build_entry",
+    "default_corpus_dir",
+    "load_manifest",
+    "regenerate",
+    "verify",
+]

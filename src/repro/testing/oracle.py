@@ -1,0 +1,234 @@
+"""Differential conformance oracle: byte FastTrack vs. dynamic granularity.
+
+The paper's central claim (Tables 1/4/6) is that dynamic granularity
+keeps byte-level precision up to two *documented* effects:
+
+* reads only record history, so a group-shared read clock can lose
+  per-byte read history ("minimal loss in detection precision") —
+  the only allowed way to *miss* a byte-detector race;
+* a race, or an inaccurate whole-group clock update from a partial
+  access, is reported for every member of the group ("false alarms due
+  to inaccurate updates of vector clocks when large detection
+  granularities are used") — the only allowed ways to report *extra*
+  addresses, and both happen at group granularity (``unit > 1``).
+
+This module turns the claim into a machine-checkable oracle: replay one
+trace through the reference and the candidate, diff the racy address
+sets, and classify every divergent address into the taxonomy below.
+Anything that does not fit is a conformance bug.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.compare import Comparison, compare_instances
+from repro.core.config import DynamicConfig
+from repro.detectors.registry import create_detector
+from repro.runtime.trace import Trace
+from repro.testing.probe import ProbedDynamicDetector
+from repro.workloads.base import default_suppression
+
+#: Candidate reported group-mates of an address the reference also
+#: calls racy (the paper's x264/streamcluster effect).
+GROUP_MATE_EXTRA = "group-mate-extra"
+#: Candidate raced at group granularity where the reference saw nothing
+#: nearby — a whole-group clock update made unrelated bytes look racy
+#: (the paper's Table 1 footnote on inaccurate vector-clock updates).
+COARSE_UPDATE_EXTRA = "coarse-update-false-alarm"
+#: Reference race missing from the candidate, at an address whose read
+#: history was group-shared during the candidate replay.
+READ_GROUP_LOSS = "read-group-history-loss"
+#: Divergences the taxonomy cannot explain: conformance bugs.
+UNEXPLAINED_EXTRA = "unexplained-extra"
+UNEXPLAINED_MISSING = "unexplained-missing"
+
+_ALLOWED = (GROUP_MATE_EXTRA, COARSE_UPDATE_EXTRA, READ_GROUP_LOSS)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One address the two detectors disagree on."""
+
+    addr: int
+    classification: str
+    detail: str = ""
+
+    @property
+    def allowed(self) -> bool:
+        return self.classification in _ALLOWED
+
+    def __str__(self) -> str:
+        flag = "allowed" if self.allowed else "BUG"
+        return f"0x{self.addr:x}: {self.classification} [{flag}] {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential replay."""
+
+    reference: str
+    candidate: str
+    comparison: Comparison
+    divergences: List[Divergence]
+
+    @property
+    def reference_addrs(self) -> FrozenSet[int]:
+        return self.comparison.addresses[self.reference]
+
+    @property
+    def candidate_addrs(self) -> FrozenSet[int]:
+        return self.comparison.addresses[self.candidate]
+
+    @property
+    def unexplained(self) -> List[Divergence]:
+        return [d for d in self.divergences if not d.allowed]
+
+    @property
+    def ok(self) -> bool:
+        """True iff every divergence fits the allowed taxonomy."""
+        return not self.unexplained
+
+    def by_classification(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for d in self.divergences:
+            out[d.classification] = out.get(d.classification, 0) + 1
+        return out
+
+    def format(self, limit: int = 6) -> str:
+        """Render the verdict, taxonomy counts and agreement figures."""
+        ref, cand = self.reference, self.candidate
+        matrix = self.comparison.agreement_matrix()
+        lines = [
+            f"differential oracle on {self.comparison.trace_name}: "
+            f"{ref} (reference) vs {cand} (candidate)",
+            f"  reference: {len(self.reference_addrs)} racy byte(s); "
+            f"candidate: {len(self.candidate_addrs)} racy byte(s); "
+            f"Jaccard agreement {matrix[(ref, cand)]:.2f}",
+        ]
+        counts = self.by_classification()
+        if not counts:
+            lines.append("  no divergences: exact conformance")
+        for cls in (*_ALLOWED, UNEXPLAINED_MISSING, UNEXPLAINED_EXTRA):
+            if cls in counts:
+                lines.append(f"  {counts[cls]:5d} x {cls}")
+        for d in self.unexplained[:limit]:
+            lines.append(f"  {d}")
+        if len(self.unexplained) > limit:
+            lines.append(f"  ... and {len(self.unexplained) - limit} more")
+        lines.append(
+            "verdict: "
+            + ("CONFORMS (all divergences allowed)" if self.ok
+               else f"{len(self.unexplained)} unexplained divergence(s)")
+        )
+        return "\n".join(lines)
+
+
+def _cluster_reports(reports) -> Dict[Tuple, set]:
+    """Group race reports emitted for one group in one event: the
+    dynamic detector reports every member with an identical signature."""
+    clusters: Dict[Tuple, set] = defaultdict(set)
+    for r in reports:
+        key = (r.kind, r.tid, r.site, r.prev_tid, r.prev_site, r.unit)
+        clusters[key].add(r.addr)
+    return clusters
+
+
+def differential_check(
+    trace: Trace,
+    reference: str = "fasttrack-byte",
+    candidate: str = "dynamic",
+    suppress_libraries: bool = True,
+    candidate_config: Optional[DynamicConfig] = None,
+) -> OracleReport:
+    """Replay ``trace`` through both detectors and classify divergences.
+
+    The candidate must be the dynamic-granularity detector (that is the
+    conformance question this oracle answers); it is replayed through an
+    instrumented probe so misses can be attributed to read groups.
+    """
+    if candidate not in ("dynamic", "fasttrack-dynamic"):
+        raise ValueError(
+            f"candidate must be the dynamic detector, got {candidate!r}"
+        )
+    suppress = default_suppression if suppress_libraries else None
+    probe_kwargs = {"suppress": suppress}
+    if candidate_config is not None:
+        probe_kwargs["config"] = candidate_config
+    probe = ProbedDynamicDetector(**probe_kwargs)
+    cmp = compare_instances(
+        trace,
+        {
+            reference: create_detector(reference, suppress=suppress),
+            candidate: probe,
+        },
+    )
+    ref_addrs = cmp.addresses[reference]
+    cand_addrs = cmp.addresses[candidate]
+    ref_reports = cmp.reports[reference]
+    cand_reports = cmp.reports[candidate]
+
+    ref_site_pairs = {
+        frozenset((r.site, r.prev_site)) for r in ref_reports
+    }
+    clusters = _cluster_reports(cand_reports)
+
+    divergences: List[Divergence] = []
+    for addr in sorted(cand_addrs - ref_addrs):
+        cls = UNEXPLAINED_EXTRA
+        detail = "byte-equivalent unit disagrees with the reference"
+        for (kind, tid, site, ptid, psite, unit), members in clusters.items():
+            if addr not in members or unit <= 1:
+                continue
+            if members & ref_addrs:
+                cls = GROUP_MATE_EXTRA
+                detail = (
+                    f"group of {unit} contains reference-confirmed racy "
+                    f"byte(s) ({kind} @ sites {site}/{psite})"
+                )
+                break
+            if frozenset((site, psite)) in ref_site_pairs:
+                cls = GROUP_MATE_EXTRA
+                detail = (
+                    f"sites {site}/{psite} race at byte granularity "
+                    f"elsewhere in the trace ({kind}, group of {unit})"
+                )
+                break
+            cls = COARSE_UPDATE_EXTRA
+            detail = (
+                f"group of {unit} raced ({kind} @ sites {site}/{psite}) "
+                "with no byte-level race nearby"
+            )
+            # keep scanning: a linked cluster elsewhere upgrades the class
+        divergences.append(Divergence(addr, cls, detail))
+
+    shared_reads = probe.read_shared_extent
+    ref_kind = {r.addr: r.kind for r in ref_reports}
+    for addr in sorted(ref_addrs - cand_addrs):
+        if addr in shared_reads:
+            divergences.append(
+                Divergence(
+                    addr,
+                    READ_GROUP_LOSS,
+                    f"read history at 0x{addr:x} was group-shared during "
+                    f"the candidate replay (reference kind: "
+                    f"{ref_kind.get(addr, '?')})",
+                )
+            )
+        else:
+            divergences.append(
+                Divergence(
+                    addr,
+                    UNEXPLAINED_MISSING,
+                    f"reference {ref_kind.get(addr, '?')} race has no "
+                    "read-group attribution",
+                )
+            )
+    return OracleReport(
+        reference=reference,
+        candidate=candidate,
+        comparison=cmp,
+        divergences=divergences,
+    )

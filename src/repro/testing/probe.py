@@ -1,0 +1,79 @@
+"""Instrumented dynamic-granularity detector for divergence attribution.
+
+The paper's precision claim is asymmetric: group granularity may *miss*
+a race only through read-history loss (reads record into a clock shared
+by the whole group, so partial writes deflate — and group-wide bitmap
+marks skip — history the byte detector would have kept), and may *add*
+reports only at group granularity (``unit > 1``).  To check a concrete
+miss against that claim, the differential oracle needs to know whether
+the missed address ever had its read history held by a multi-byte group.
+
+:class:`ProbedDynamicDetector` behaves byte-for-byte like
+:class:`~repro.core.detector.DynamicGranularityDetector` (it only
+observes), while recording the union of every multi-byte read group's
+bounding range into :attr:`read_shared_extent`.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.detector import DynamicGranularityDetector
+from repro.core.groups import Group, GroupManager
+
+
+class _ProbingGroupManager(GroupManager):
+    """A :class:`GroupManager` that reports multi-byte group extents.
+
+    Every structural operation that can put two addresses behind one
+    clock (creation of a multi-byte group, adoption of fresh bytes,
+    merging) records the resulting bounding range.  Splits only shrink
+    groups, so recording at growth points covers the full history.
+    """
+
+    def __init__(self, *args, extent: Set[int], **kwargs):
+        super().__init__(*args, **kwargs)
+        self._extent = extent
+
+    def _record(self, g: Group) -> None:
+        if g.count > 1 or g.hi - g.lo > 1:
+            self._extent.update(range(g.lo, g.hi))
+
+    def new_group(self, lo: int, hi: int, state: int) -> Group:
+        g = super().new_group(lo, hi, state)
+        self._record(g)
+        return g
+
+    def adopt(self, g: Group, lo: int, hi: int) -> Group:
+        g = super().adopt(g, lo, hi)
+        self._record(g)
+        return g
+
+    def merge(self, a: Group, b: Group) -> Group:
+        g = super().merge(a, b)
+        self._record(g)
+        return g
+
+
+class ProbedDynamicDetector(DynamicGranularityDetector):
+    """The dynamic detector plus read-sharing provenance.
+
+    ``read_shared_extent`` is the set of byte addresses whose read
+    history was, at any point of the replay, carried by a clock covering
+    more than one byte — the addresses where group granularity is
+    *allowed* to have lost read history relative to the byte reference.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.read_shared_extent: Set[int] = set()
+        # Swap in the probing manager before any event is replayed; the
+        # plain manager created by the base constructor holds no state
+        # or accounting yet (charges happen on first insertion).
+        self._rg = _ProbingGroupManager(
+            "r",
+            self.memory,
+            self.group_stats,
+            index_share=0.5,
+            extent=self.read_shared_extent,
+        )

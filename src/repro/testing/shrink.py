@@ -1,0 +1,246 @@
+"""Delta-debugging trace minimizer (``repro-race shrink``).
+
+Given a trace that manifests a failure — a race at particular addresses,
+or an oracle divergence — reduce it to a minimal reproducer that still
+manifests the same failure.  The reduction runs three passes, each
+re-checking the failure predicate on candidate sub-traces:
+
+1. **threads** — drop every event of one thread at a time;
+2. **addresses** — drop every memory event touching one address block
+   at a time (races usually involve a handful of locations; everything
+   else is noise);
+3. **ops** — Zeller/Hildebrandt ddmin over the remaining events:
+   remove contiguous chunks, halving the chunk size whenever a full
+   pass removes nothing, down to single events.
+
+Detectors replay arbitrary sub-traces (unknown threads get fresh
+clocks, releases of never-acquired locks are harmless), so every subset
+is a valid candidate; the predicate alone decides what survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, List, Optional
+
+from repro.detectors.registry import create_detector
+from repro.runtime.events import ALLOC, FREE, WRITE
+from repro.runtime.trace import Trace
+from repro.runtime.vm import replay
+from repro.workloads.base import default_suppression
+
+Predicate = Callable[[Trace], bool]
+
+#: Address-pass block size: one block per aligned 64-byte chunk keeps
+#: the number of candidate removals proportional to distinct data
+#: structures, not distinct bytes.
+_ADDR_BLOCK = 64
+
+
+class ShrinkBudgetExceeded(RuntimeError):
+    """The predicate-evaluation budget ran out mid-pass."""
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    original: Trace
+    minimized: Trace
+    predicate_evals: int
+    removed_threads: int
+    removed_blocks: int
+
+    @property
+    def reduction(self) -> float:
+        """Minimized / original op count (lower is better)."""
+        if not len(self.original):
+            return 1.0
+        return len(self.minimized) / len(self.original)
+
+    def format(self) -> str:
+        return (
+            f"shrunk {self.original.name}: {len(self.original)} -> "
+            f"{len(self.minimized)} events "
+            f"({self.reduction:.1%} of original; "
+            f"{self.removed_threads} thread(s) and "
+            f"{self.removed_blocks} address block(s) removed, "
+            f"{self.predicate_evals} predicate evaluations)"
+        )
+
+
+# ----------------------------------------------------------------------
+# failure predicates
+# ----------------------------------------------------------------------
+
+def racy_at(
+    addrs: Iterable[int],
+    detector: str = "fasttrack-byte",
+    suppress_libraries: bool = True,
+) -> Predicate:
+    """Failure predicate: the detector still reports a race at *every*
+    address in ``addrs``."""
+    target: FrozenSet[int] = frozenset(addrs)
+    if not target:
+        raise ValueError("racy_at needs at least one target address")
+    suppress = default_suppression if suppress_libraries else None
+
+    def predicate(trace: Trace) -> bool:
+        det = create_detector(detector, suppress=suppress)
+        found = {r.addr for r in replay(trace, det).races}
+        return target <= found
+
+    return predicate
+
+
+def diverges(
+    reference: str = "fasttrack-byte",
+    candidate: str = "dynamic",
+    classification: Optional[str] = None,
+    suppress_libraries: bool = True,
+) -> Predicate:
+    """Failure predicate: the differential oracle still reports a
+    divergence (optionally of one specific classification)."""
+    from repro.testing.oracle import differential_check
+
+    def predicate(trace: Trace) -> bool:
+        report = differential_check(
+            trace,
+            reference=reference,
+            candidate=candidate,
+            suppress_libraries=suppress_libraries,
+        )
+        if classification is None:
+            return bool(report.divergences)
+        return any(
+            d.classification == classification for d in report.divergences
+        )
+
+    return predicate
+
+
+# ----------------------------------------------------------------------
+# the minimizer
+# ----------------------------------------------------------------------
+
+class _Budget:
+    __slots__ = ("evals", "limit")
+
+    def __init__(self, limit: int):
+        self.evals = 0
+        self.limit = limit
+
+    def charge(self) -> None:
+        self.evals += 1
+        if self.evals > self.limit:
+            raise ShrinkBudgetExceeded(
+                f"exceeded {self.limit} predicate evaluations"
+            )
+
+
+def _thread_pass(trace: Trace, predicate: Predicate, budget: _Budget):
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for tid in sorted(trace.tids()):
+            candidate = trace.without_threads({tid})
+            if len(candidate) == len(trace):
+                continue
+            budget.charge()
+            if predicate(candidate):
+                trace = candidate
+                removed += 1
+                changed = True
+    return trace, removed
+
+
+def _address_pass(trace: Trace, predicate: Predicate, budget: _Budget):
+    removed = 0
+    blocks = sorted(
+        {
+            ev[2] // _ADDR_BLOCK
+            for ev in trace.events
+            if ev[0] <= WRITE or ev[0] == ALLOC or ev[0] == FREE
+        }
+    )
+    for block in blocks:
+        lo, hi = block * _ADDR_BLOCK, (block + 1) * _ADDR_BLOCK
+        doomed = set(trace.indices_touching(lo, hi))
+        if not doomed or len(doomed) == len(trace):
+            continue
+        candidate = trace.subset(
+            [i for i in range(len(trace)) if i not in doomed]
+        )
+        budget.charge()
+        if predicate(candidate):
+            trace = candidate
+            removed += 1
+    return trace, removed
+
+
+def _ddmin_pass(trace: Trace, predicate: Predicate, budget: _Budget) -> Trace:
+    events = list(range(len(trace)))
+    chunk = max(len(events) // 2, 1)
+    while chunk >= 1:
+        removed_any = False
+        start = 0
+        while start < len(events):
+            keep = events[:start] + events[start + chunk:]
+            if not keep:
+                start += chunk
+                continue
+            budget.charge()
+            if predicate(trace.subset(keep)):
+                events = keep
+                removed_any = True
+                # same start now addresses the next chunk
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(chunk // 2, 1)
+        else:
+            chunk = min(chunk, max(len(events) // 2, 1))
+    return trace.subset(events)
+
+
+def shrink_trace(
+    trace: Trace,
+    predicate: Predicate,
+    max_evals: int = 5000,
+    name: Optional[str] = None,
+) -> ShrinkResult:
+    """Minimize ``trace`` while ``predicate`` keeps holding.
+
+    ``predicate(trace)`` must be True on entry; raises ValueError
+    otherwise (the failure must manifest before it can be shrunk).
+    A :class:`ShrinkBudgetExceeded` mid-pass is not fatal: the best
+    reduction found so far is returned.
+    """
+    budget = _Budget(max_evals)
+    budget.charge()
+    if not predicate(trace):
+        raise ValueError(
+            "predicate does not hold on the input trace; nothing to shrink"
+        )
+    current = trace
+    removed_threads = removed_blocks = 0
+    try:
+        current, removed_threads = _thread_pass(current, predicate, budget)
+        current, removed_blocks = _address_pass(current, predicate, budget)
+        current = _ddmin_pass(current, predicate, budget)
+    except ShrinkBudgetExceeded:
+        pass  # return the best trace reached within budget
+    minimized = current.subset(
+        range(len(current)),
+        name=name if name is not None else f"{trace.name}-min",
+    )
+    return ShrinkResult(
+        original=trace,
+        minimized=minimized,
+        predicate_evals=budget.evals,
+        removed_threads=removed_threads,
+        removed_blocks=removed_blocks,
+    )

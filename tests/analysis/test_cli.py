@@ -105,3 +105,71 @@ def test_list_shows_scenarios(capsys):
     out = capsys.readouterr().out
     assert "sensor-fusion" in out
     assert "embedded scenarios" in out
+
+
+def test_shrink_cli_reduces_and_saves(tmp_path, capsys):
+    out_path = str(tmp_path / "min.npz")
+    assert (
+        main(["shrink", "-w", "ffmpeg", "--scale", "0.2", "--seed", "1",
+              "--out", out_path])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "shrunk" in out
+    assert "preserved racy address(es)" in out
+    assert os.path.exists(out_path)
+    from repro.runtime.trace import Trace
+
+    minimized = Trace.load(out_path)
+    assert 0 < len(minimized)
+
+
+def test_shrink_cli_race_free_workload_fails(capsys):
+    assert main(["shrink", "-w", "pbzip2", "--scale", "0.2"]) == 1
+    assert "no races" in capsys.readouterr().out
+
+
+def test_shrink_cli_rejects_non_racy_address(capsys):
+    assert (
+        main(["shrink", "-w", "ffmpeg", "--scale", "0.2",
+              "--addr", "0xdeadbeef"])
+        == 1
+    )
+    assert "no race at 0xdeadbeef" in capsys.readouterr().out
+
+
+def test_conform_cli_explains_divergences(capsys):
+    assert (
+        main(["conform", "-w", "hmmsearch", "--seeds", "2",
+              "--scale", "0.2"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "every divergence explained" in out
+    assert "verdict: CONFORMS" in out
+
+
+def test_golden_cli_regen_is_idempotent(tmp_path, monkeypatch, capsys):
+    from repro.testing import golden
+
+    monkeypatch.setattr(
+        golden,
+        "DEFAULT_ENTRIES",
+        (golden.GoldenEntry("shrunk-ffmpeg", "ffmpeg", 0.2, 1, shrunk=True),),
+    )
+    corpus = str(tmp_path / "golden")
+    assert main(["golden", "regen", "--dir", corpus]) == 0
+    manifest_path = os.path.join(corpus, "manifest.json")
+    with open(manifest_path, "rb") as fh:
+        first = fh.read()
+    assert main(["golden", "regen", "--dir", corpus]) == 0
+    with open(manifest_path, "rb") as fh:
+        assert fh.read() == first  # regeneration is deterministic
+    assert main(["golden", "verify", "--dir", corpus]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_golden_cli_verify_flags_problems(tmp_path, capsys):
+    corpus = str(tmp_path / "empty")
+    assert main(["golden", "verify", "--dir", corpus]) == 1
+    assert "no manifest" in capsys.readouterr().out

@@ -100,3 +100,33 @@ def test_fuzz_cli(capsys):
                  "--scale", "0.2"]) == 0
     out = capsys.readouterr().out
     assert "schedules explored" in out
+
+
+def test_race_before_deadlock_counts_as_racy():
+    """A schedule that races and then deadlocks must count as racy:
+    the executed prefix is real evidence (regression test for the
+    campaign dropping such runs entirely)."""
+    def t1():
+        yield ops.write(0x1000, 4, site=1)
+        yield ops.acquire(1)
+        yield ops.acquire(2)
+
+    def t2():
+        yield ops.write(0x1000, 4, site=2)
+        yield ops.acquire(2)
+        yield ops.acquire(1)
+
+    def factory():
+        return Program.from_threads([t1, t2], name="race-then-deadlock")
+
+    result = fuzz_schedules(factory, trials=30, quantum=(1, 1))
+    # the unsynchronized writes race on every interleaving, whether or
+    # not the locks subsequently deadlock
+    assert result.racy_runs == result.trials == 30
+    assert result.manifestation_rate == 1.0
+    assert result.deadlocked_runs > 0
+    assert result.racy_deadlocked_runs > 0
+    assert result.racy_deadlocked_runs <= result.deadlocked_runs
+    assert set(range(0x1000, 0x1004)) <= set(result.address_hits)
+    text = format_fuzz_result(result)
+    assert "racy before blocking" in text

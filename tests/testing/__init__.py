@@ -1,0 +1,1 @@
+"""Tests for the conformance/minimization tooling (repro.testing)."""

@@ -1,0 +1,131 @@
+"""Tests for the delta-debugging trace minimizer."""
+
+import pytest
+
+from repro.runtime.events import ACQUIRE, READ, RELEASE, WRITE
+from repro.runtime.trace import Trace
+from repro.testing.oracle import GROUP_MATE_EXTRA, READ_GROUP_LOSS
+from repro.testing.shrink import (
+    ShrinkBudgetExceeded,
+    diverges,
+    racy_at,
+    shrink_trace,
+)
+from repro.workloads.registry import get_workload
+
+RACY = 0x1000
+NOISE = 0x2000
+
+
+def _noisy_racy_trace():
+    """Two racing writes buried in three threads of irrelevant work."""
+    events = []
+    # thread 3: perfectly synchronized traffic on an unrelated block
+    for i in range(20):
+        events.append((ACQUIRE, 3, 9, 1, 90))
+        events.append((WRITE, 3, NOISE + 8 * (i % 4), 8, 91))
+        events.append((RELEASE, 3, 9, 1, 92))
+    # threads 1/2: reads around the actual race
+    events.append((READ, 1, NOISE, 8, 30))
+    events.append((WRITE, 1, RACY, 4, 1))
+    events.append((READ, 2, NOISE + 32, 8, 31))
+    events.append((WRITE, 2, RACY, 4, 2))
+    for i in range(20):
+        events.append((ACQUIRE, 3, 9, 1, 90))
+        events.append((READ, 3, NOISE + 8 * (i % 4), 8, 93))
+        events.append((RELEASE, 3, 9, 1, 92))
+    return Trace(events, name="noisy", n_threads=4)
+
+
+def test_minimizes_to_the_racing_pair():
+    trace = _noisy_racy_trace()
+    target = set(range(RACY, RACY + 4))
+    result = shrink_trace(trace, racy_at(target))
+    assert len(result.minimized) == 2
+    assert {ev[0] for ev in result.minimized.events} == {WRITE}
+    assert all(ev[2] == RACY for ev in result.minimized.events)
+    assert result.removed_threads >= 1
+    assert result.reduction < 0.05
+    # the minimized trace still satisfies the predicate it was shrunk for
+    assert racy_at(target)(result.minimized)
+
+
+def test_minimized_trace_keeps_metadata_and_name():
+    trace = _noisy_racy_trace()
+    result = shrink_trace(trace, racy_at([RACY]))
+    assert result.minimized.name == "noisy-min"
+    assert result.minimized.n_threads == trace.n_threads
+    named = shrink_trace(trace, racy_at([RACY]), name="custom")
+    assert named.minimized.name == "custom"
+
+
+def test_predicate_must_hold_on_input():
+    clean = Trace([(ACQUIRE, 1, 1, 1, 0), (WRITE, 1, RACY, 4, 1),
+                   (RELEASE, 1, 1, 1, 2)], name="clean", n_threads=2)
+    with pytest.raises(ValueError):
+        shrink_trace(clean, racy_at([RACY]))
+
+
+def test_racy_at_rejects_empty_target():
+    with pytest.raises(ValueError):
+        racy_at([])
+
+
+def test_budget_exhaustion_returns_best_so_far():
+    trace = _noisy_racy_trace()
+    result = shrink_trace(trace, racy_at([RACY]), max_evals=1)
+    # only the entry check fit in the budget: nothing was removed,
+    # but the call still succeeds with the original trace
+    assert len(result.minimized) == len(trace)
+    assert result.predicate_evals == 2  # entry check + the aborted one
+
+
+def test_budget_error_message():
+    with pytest.raises(ShrinkBudgetExceeded):
+        # exercise the raw budget path via a predicate that always holds
+        from repro.testing.shrink import _Budget
+        budget = _Budget(2)
+        for _ in range(3):
+            budget.charge()
+
+
+def test_format_reports_reduction():
+    trace = _noisy_racy_trace()
+    result = shrink_trace(trace, racy_at([RACY]))
+    text = result.format()
+    assert "noisy" in text
+    assert "predicate evaluations" in text
+    assert f"{len(trace)} -> {len(result.minimized)}" in text
+
+
+def test_diverges_predicate():
+    # 8-byte read group raced by a partial write: a group-mate
+    # divergence the predicate must see (and classify).
+    trace = Trace([
+        (READ, 1, RACY, 4, 10),
+        (READ, 1, RACY + 4, 4, 11),
+        (WRITE, 2, RACY, 4, 20),
+    ], name="gm", n_threads=3)
+    assert diverges()(trace)
+    assert diverges(classification=GROUP_MATE_EXTRA)(trace)
+    assert not diverges(classification=READ_GROUP_LOSS)(trace)
+    # a shrink against the divergence predicate keeps it manifest
+    result = shrink_trace(trace, diverges(classification=GROUP_MATE_EXTRA))
+    assert diverges(classification=GROUP_MATE_EXTRA)(result.minimized)
+    assert len(result.minimized) <= 3
+
+
+def test_acceptance_seeded_race_workload_shrinks_below_quarter():
+    # ISSUE acceptance criterion: a seeded-race workload must reduce to
+    # <= 25% of its original op count while preserving the racy address.
+    trace = get_workload("ffmpeg").trace(scale=0.2, seed=1)
+    from repro.detectors.registry import create_detector
+    from repro.runtime.vm import replay
+    from repro.workloads.base import default_suppression
+
+    det = create_detector("fasttrack-byte", suppress=default_suppression)
+    target = {r.addr for r in replay(trace, det).races}
+    assert target, "ffmpeg must race at scale 0.2 seed 1"
+    result = shrink_trace(trace, racy_at(target))
+    assert result.reduction <= 0.25
+    assert racy_at(target)(result.minimized)
