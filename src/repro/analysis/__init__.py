@@ -14,8 +14,19 @@ from repro.analysis.compare import (
     compare_instances,
     format_comparison,
 )
-from repro.analysis.fuzz import FuzzResult, format_fuzz_result, fuzz_schedules
+from repro.analysis.fuzz import (
+    FuzzResult,
+    TrialTimeout,
+    format_fuzz_result,
+    fuzz_schedules,
+    run_fuzz,
+)
 from repro.analysis.hbgraph import build_hb_graph, concurrent_access_pairs, racy_bytes
+from repro.analysis.quarantine import (
+    QuarantineStore,
+    crash_predicate,
+    format_entries,
+)
 from repro.analysis.metrics import Measurement, measure, measure_many
 from repro.analysis.report import format_races, summarize_races
 from repro.analysis.suppressions import SuppressionSet, default_suppression_set
@@ -38,8 +49,13 @@ __all__ = [
     "SuppressionSet",
     "default_suppression_set",
     "FuzzResult",
+    "TrialTimeout",
     "fuzz_schedules",
+    "run_fuzz",
     "format_fuzz_result",
+    "QuarantineStore",
+    "crash_predicate",
+    "format_entries",
     "build_hb_graph",
     "concurrent_access_pairs",
     "racy_bytes",

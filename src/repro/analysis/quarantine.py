@@ -1,0 +1,196 @@
+"""Quarantine: crash-isolating traces that killed a detector.
+
+When a campaign trial crashes the detector, the offending trace is the
+bug report — so instead of aborting the campaign, the supervisor writes
+the trace and its context (seed, detector, exception, injected faults)
+to a quarantine directory and keeps going.  Each entry can then be
+auto-shrunk with the delta-debugging minimizer under a *crash
+predicate* (the detector still raises on the candidate sub-trace),
+turning a multi-thousand-event campaign artifact into a unit-test-sized
+reproducer.
+
+Layout of a quarantine directory::
+
+    quarantine/
+      <entry-id>.npz       the full offending trace
+      <entry-id>.json      metadata (seed, detector, error, faults)
+      <entry-id>-min.npz   the shrunk reproducer (after shrinking)
+
+``repro-race quarantine list|shrink`` is the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime.trace import Trace
+from repro.runtime.vm import replay
+from repro.testing.shrink import Predicate, ShrinkResult, shrink_trace
+
+#: Default quarantine directory, relative to the working directory.
+DEFAULT_QUARANTINE_DIR = ".repro-race/quarantine"
+
+
+def crash_predicate(make_detector: Callable[[], object]) -> Predicate:
+    """Failure predicate for shrinking: replaying the trace still
+    crashes a fresh detector from ``make_detector`` — either by raising
+    or, for a :class:`~repro.detectors.guards.GuardedDetector`, by
+    capturing a crash."""
+
+    def predicate(trace: Trace) -> bool:
+        det = make_detector()
+        try:
+            replay(trace, det)
+        except Exception:  # noqa: BLE001 - a crash is the signal
+            return True
+        return getattr(det, "crash", None) is not None
+
+    return predicate
+
+
+class QuarantineStore:
+    """Filesystem-backed store of crash-quarantined traces."""
+
+    def __init__(self, root: str = DEFAULT_QUARANTINE_DIR):
+        self.root = root
+
+    # ------------------------------------------------------------------
+    def _meta_path(self, entry_id: str) -> str:
+        return os.path.join(self.root, f"{entry_id}.json")
+
+    def _trace_path(self, entry_id: str) -> str:
+        return os.path.join(self.root, f"{entry_id}.npz")
+
+    def _min_path(self, entry_id: str) -> str:
+        return os.path.join(self.root, f"{entry_id}-min.npz")
+
+    # ------------------------------------------------------------------
+    def quarantine(
+        self,
+        trace: Trace,
+        seed: int,
+        detector: str,
+        error: Dict[str, object],
+        faults: Optional[List[dict]] = None,
+    ) -> str:
+        """Persist an offending trace + context; returns the entry id.
+
+        ``error`` is a JSON-able description (``exc_type``, ``message``,
+        optionally ``op``/``event_index``/``traceback`` from a
+        :class:`~repro.detectors.guards.DetectorCrash`).
+        """
+        os.makedirs(self.root, exist_ok=True)
+        base = f"{trace.name}-seed{seed}"
+        entry_id, n = base, 1
+        while os.path.exists(self._meta_path(entry_id)):
+            n += 1
+            entry_id = f"{base}-{n}"
+        trace.save(self._trace_path(entry_id))
+        meta = {
+            "id": entry_id,
+            "trace": os.path.basename(self._trace_path(entry_id)),
+            "events": len(trace),
+            "n_threads": trace.n_threads,
+            "seed": seed,
+            "detector": detector,
+            "error": dict(error),
+            "faults": list(faults if faults is not None else trace.faults),
+            "shrunk": None,
+        }
+        self._write_meta(entry_id, meta)
+        return entry_id
+
+    def _write_meta(self, entry_id: str, meta: Dict[str, object]) -> None:
+        tmp = self._meta_path(entry_id) + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
+        os.replace(tmp, self._meta_path(entry_id))
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, object]]:
+        """Metadata of every quarantined entry, sorted by id."""
+        if not os.path.isdir(self.root):
+            return []
+        out = []
+        for fn in sorted(os.listdir(self.root)):
+            if not fn.endswith(".json"):
+                continue
+            with open(os.path.join(self.root, fn)) as fh:
+                out.append(json.load(fh))
+        return out
+
+    def meta(self, entry_id: str) -> Dict[str, object]:
+        path = self._meta_path(entry_id)
+        if not os.path.exists(path):
+            raise KeyError(f"no quarantined entry {entry_id!r} in {self.root}")
+        with open(path) as fh:
+            return json.load(fh)
+
+    def load_trace(self, entry_id: str, minimized: bool = False) -> Trace:
+        path = self._min_path(entry_id) if minimized else self._trace_path(entry_id)
+        if not os.path.exists(path):
+            raise KeyError(f"no {'shrunk ' if minimized else ''}trace for {entry_id!r}")
+        return Trace.load(path)
+
+    # ------------------------------------------------------------------
+    def shrink(
+        self,
+        entry_id: str,
+        make_detector: Optional[Callable[[], object]] = None,
+        max_evals: int = 500,
+    ) -> ShrinkResult:
+        """Delta-debug the quarantined trace down to a minimal trace
+        that still crashes the detector; saves ``<id>-min.npz`` and
+        records the result in the entry's metadata.
+
+        Without ``make_detector`` the detector registry name from the
+        entry's metadata is used (campaigns that crashed a custom
+        detector instance must supply the factory).
+        """
+        meta = self.meta(entry_id)
+        if make_detector is None:
+            from repro.detectors.registry import create_detector
+
+            name = str(meta["detector"])
+            make_detector = lambda: create_detector(name)  # noqa: E731
+        trace = self.load_trace(entry_id)
+        result = shrink_trace(
+            trace,
+            crash_predicate(make_detector),
+            max_evals=max_evals,
+            name=f"{trace.name}-crash-min",
+        )
+        result.minimized.save(self._min_path(entry_id))
+        meta["shrunk"] = {
+            "trace": os.path.basename(self._min_path(entry_id)),
+            "events": len(result.minimized),
+            "predicate_evals": result.predicate_evals,
+        }
+        self._write_meta(entry_id, meta)
+        return result
+
+
+def format_entries(entries: List[Dict[str, object]]) -> str:
+    """Human-readable quarantine listing for the CLI."""
+    if not entries:
+        return "quarantine is empty"
+    lines = [f"{len(entries)} quarantined trace(s):"]
+    for meta in entries:
+        err = meta.get("error", {})
+        shrunk = meta.get("shrunk")
+        min_part = (
+            f", shrunk to {shrunk['events']}" if shrunk else ", not shrunk"
+        )
+        fault_part = (
+            f", {len(meta['faults'])} injected fault(s)"
+            if meta.get("faults")
+            else ""
+        )
+        lines.append(
+            f"  {meta['id']}: {meta['events']} events"
+            f"{min_part}{fault_part} — {err.get('exc_type', '?')}: "
+            f"{err.get('message', '?')}"
+        )
+    return "\n".join(lines)

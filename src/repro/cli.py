@@ -6,6 +6,10 @@
     repro-race run --workload pbzip2 --detector dynamic [--scale 1.0]
     repro-race table 1 [--scale 0.5] [--workloads ferret,pbzip2]
     repro-race fuzz --workload ffmpeg --trials 50
+    repro-race fuzz -w ffmpeg --faults --max-events 3000 --trial-timeout 10 \
+        --quarantine-dir .repro-race/quarantine --checkpoint fuzz.json --resume
+    repro-race quarantine list
+    repro-race quarantine shrink ffmpeg-seed3
     repro-race stats --workload pbzip2
     repro-race hbgraph trace.npz -o hb.dot
     repro-race compare -w x264 -d fasttrack-byte,dynamic,drd
@@ -27,7 +31,9 @@ from repro.analysis import tables as tables_mod
 from repro.analysis.metrics import measure
 from repro.analysis.report import format_races, summarize_races
 from repro.analysis.tables import format_table
+from repro.analysis.quarantine import DEFAULT_QUARANTINE_DIR
 from repro.detectors.registry import available_detectors, create_detector
+from repro.runtime.faults import FAULT_KINDS
 from repro.runtime.trace import Trace
 from repro.runtime.vm import bare_replay, replay
 from repro.workloads.base import default_suppression
@@ -79,6 +85,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report races from modeled system libraries too",
     )
     run.add_argument("--max-races", type=int, default=20)
+    run.add_argument(
+        "--shadow-budget",
+        type=int,
+        help="cap live shadow clock groups; the detector degrades "
+        "precision instead of growing past the cap",
+    )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", choices=sorted(TABLES))
@@ -112,6 +124,62 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--trials", type=int, default=30)
     fuzz.add_argument("--scale", type=float, default=0.3)
+    fuzz.add_argument(
+        "--faults",
+        action="store_true",
+        help="arm a deterministic per-seed fault plan "
+        "(thread kills, acquire/malloc failures)",
+    )
+    fuzz.add_argument(
+        "--fault-kinds",
+        help="comma-separated subset of: " + ",".join(FAULT_KINDS),
+    )
+    fuzz.add_argument(
+        "--max-events", type=int, help="event budget per trial"
+    )
+    fuzz.add_argument(
+        "--trial-timeout",
+        type=float,
+        help="wall-clock budget per trial in seconds (SIGALRM)",
+    )
+    fuzz.add_argument(
+        "--shadow-budget",
+        type=int,
+        help="cap live shadow clock groups per trial",
+    )
+    fuzz.add_argument(
+        "--quarantine-dir",
+        help="quarantine detector-crashing traces here "
+        f"(e.g. {DEFAULT_QUARANTINE_DIR})",
+    )
+    fuzz.add_argument(
+        "--checkpoint", help="JSON campaign checkpoint, updated per trial"
+    )
+    fuzz.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip seeds the checkpoint already completed",
+    )
+
+    quar = sub.add_parser(
+        "quarantine", help="inspect and shrink crash-quarantined traces"
+    )
+    quar.add_argument("action", choices=("list", "shrink"))
+    quar.add_argument(
+        "entry", nargs="?", help="entry id (required for shrink)"
+    )
+    quar.add_argument(
+        "--dir",
+        default=DEFAULT_QUARANTINE_DIR,
+        help=f"quarantine directory (default: {DEFAULT_QUARANTINE_DIR})",
+    )
+    quar.add_argument("--max-evals", type=int, default=500)
+    quar.add_argument(
+        "--detector",
+        "-d",
+        choices=available_detectors(),
+        help="override the detector recorded in the entry metadata",
+    )
 
     comp = sub.add_parser(
         "compare", help="agreement study: several detectors, one trace"
@@ -217,7 +285,20 @@ def _cmd_run(args) -> int:
     )
     suppress = None if args.no_suppress else default_suppression
     det = create_detector(args.detector, suppress=suppress)
+    if args.shadow_budget is not None:
+        from repro.detectors.guards import GuardedDetector
+
+        det = GuardedDetector(det, shadow_budget=args.shadow_budget)
     result = replay(trace, det)
+    if args.shadow_budget is not None:
+        guard = det.statistics()["guard"]
+        print(
+            f"shadow budget {args.shadow_budget}: "
+            f"peak {guard['peak_live_clocks']} live clocks, "
+            f"{guard['degradations']} degradation(s), "
+            f"{guard['forced_merges']} forced merge(s), "
+            f"{guard['evicted_groups']} eviction(s)"
+        )
     print(format_races(result.races, limit=args.max_races))
     summary = summarize_races(result.races)
     print(f"summary: {summary}")
@@ -249,16 +330,67 @@ def _cmd_stats(args) -> int:
 
 def _cmd_fuzz(args) -> int:
     from repro.analysis.fuzz import format_fuzz_result, fuzz_schedules
+    from repro.runtime.faults import DEFAULT_KINDS
 
     workload = _resolve(args.workload)
 
     def factory():
         return workload.build(scale=args.scale, seed=0)
 
+    if args.fault_kinds:
+        kinds = tuple(
+            k.strip() for k in args.fault_kinds.split(",") if k.strip()
+        )
+        bad = [k for k in kinds if k not in FAULT_KINDS]
+        if bad:
+            print(f"unknown fault kind(s): {', '.join(bad)} "
+                  f"(choose from {', '.join(FAULT_KINDS)})")
+            return 2
+    else:
+        kinds = DEFAULT_KINDS
+
     result = fuzz_schedules(
-        factory, detector=args.detector, trials=args.trials
+        factory,
+        detector=args.detector,
+        trials=args.trials,
+        max_events=args.max_events,
+        trial_timeout=args.trial_timeout,
+        faults=args.faults,
+        fault_kinds=kinds,
+        shadow_budget=args.shadow_budget,
+        quarantine_dir=args.quarantine_dir,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     print(format_fuzz_result(result))
+    return 0
+
+
+def _cmd_quarantine(args) -> int:
+    from repro.analysis.quarantine import QuarantineStore, format_entries
+
+    store = QuarantineStore(args.dir)
+    if args.action == "list":
+        print(format_entries(store.entries()))
+        return 0
+    if not args.entry:
+        print("quarantine shrink needs an entry id (see `quarantine list`)")
+        return 2
+    try:
+        make = (
+            (lambda: create_detector(args.detector))
+            if args.detector
+            else None
+        )
+        result = store.shrink(
+            args.entry, make_detector=make, max_evals=args.max_evals
+        )
+    except KeyError as err:
+        print(err.args[0])
+        return 1
+    print(result.format())
+    meta = store.meta(args.entry)
+    print(f"saved crashing reproducer: {meta['shrunk']['trace']}")
     return 0
 
 
@@ -409,6 +541,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "quarantine":
+        return _cmd_quarantine(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "hbgraph":

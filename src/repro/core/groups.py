@@ -282,6 +282,39 @@ class GroupManager:
             out.append(sg)
         return out
 
+    def evict(self, g: Group) -> int:
+        """Forget ``g`` entirely: unindex every member and discharge its
+        clock, as if the locations were never accessed.
+
+        This is the budget-pressure escape hatch
+        (:class:`repro.detectors.guards.GuardedDetector`): the next
+        access to an evicted byte re-inserts it with a fresh history, so
+        eviction can only *miss* races, never invent them.  Returns the
+        number of members removed.
+        """
+        if g.charged == 0:
+            return 0
+        if g.count == g.hi - g.lo:
+            removed = self.table.delete_range(g.lo, g.hi - g.lo)
+        else:
+            removed = 0
+            delete = self.table.delete
+            for addr in list(self.members(g)):
+                if delete(addr):
+                    removed += 1
+        self.stats.live_bytes -= removed
+        g.count = 0
+        self._discharge(g)
+        return removed
+
+    def live_groups(self) -> List[Group]:
+        """Every live group, in increasing ``lo`` order (O(members) —
+        budget-degradation and test use only)."""
+        seen: dict = {}
+        for _addr, g in self.table.items():
+            seen[id(g)] = g
+        return sorted(seen.values(), key=lambda g: (g.lo, g.hi))
+
     # ------------------------------------------------------------------
     # scans
     # ------------------------------------------------------------------

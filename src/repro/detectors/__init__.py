@@ -24,6 +24,12 @@ The paper's dynamic-granularity detector lives in :mod:`repro.core`.
 
 from repro.detectors.base import Detector, RaceReport, VectorClockRuntime
 from repro.detectors.deadlock import LockOrderDetector
+from repro.detectors.guards import (
+    DetectorCrash,
+    GuardedDetector,
+    GuardStats,
+    guard_detector,
+)
 from repro.detectors.djit import DjitPlusDetector
 from repro.detectors.eraser import EraserDetector
 from repro.detectors.fasttrack import FastTrackDetector
@@ -51,6 +57,10 @@ __all__ = [
     "DemandDrivenFilter",
     "TsanDetector",
     "LockOrderDetector",
+    "DetectorCrash",
+    "GuardedDetector",
+    "GuardStats",
+    "guard_detector",
     "create_detector",
     "available_detectors",
 ]

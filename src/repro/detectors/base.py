@@ -108,6 +108,13 @@ class Detector:
         self.races.append(race)
         return True
 
+    @property
+    def reported_racy(self) -> frozenset:
+        """Byte addresses already reported racy (first-race-per-location
+        dedup state; read by the budget guard to find shadow state that
+        can no longer produce a report)."""
+        return frozenset(self._racy)
+
     def statistics(self) -> Dict[str, object]:
         """Detector-specific counters for the analysis tables."""
         return {}

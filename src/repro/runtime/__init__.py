@@ -20,6 +20,17 @@ from repro.runtime.events import (
     WRITE,
     Event,
 )
+from repro.runtime.faults import (
+    DEFAULT_KINDS,
+    FAIL_ACQUIRE,
+    FAIL_MALLOC,
+    FAULT_KINDS,
+    KILL_THREAD,
+    TRUNCATE,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
 from repro.runtime.program import Program, ops
 from repro.runtime.scheduler import Scheduler, SchedulerError
 from repro.runtime.trace import Trace
@@ -36,6 +47,15 @@ __all__ = [
     "FREE",
     "OP_NAMES",
     "Event",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "FAULT_KINDS",
+    "DEFAULT_KINDS",
+    "KILL_THREAD",
+    "FAIL_ACQUIRE",
+    "FAIL_MALLOC",
+    "TRUNCATE",
     "Program",
     "ops",
     "Scheduler",

@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the scheduler.
+
+Real PIN runs are not clean: threads get cancelled while holding locks,
+``pthread_mutex_lock`` fails, ``malloc`` returns NULL, and the target
+process dies mid-trace leaving a truncated event stream.  A detector
+that only ever sees well-formed traces is untested against exactly the
+inputs that kill long fuzzing campaigns, so the schedule fuzzer can arm
+the scheduler with a seeded :class:`FaultPlan` — the same seed always
+injects the same faults at the same event indices — and every injected
+fault is recorded on the resulting :class:`~repro.runtime.trace.Trace`
+(``trace.faults``) for triage and quarantine metadata.
+
+Fault taxonomy (see ALGORITHM.md §8):
+
+``kill-thread``
+    The currently scheduled thread dies without unwinding — it never
+    releases the mutexes it holds (recorded in the fault detail), its
+    joiners are woken as after ``pthread_cancel`` + ``pthread_join``.
+    Threads blocked on its locks stay blocked, so this frequently
+    surfaces the deadlock path (a :class:`SchedulerError` carrying the
+    partial trace).
+``fail-acquire``
+    The next ACQUIRE request fails as an error-checking mutex would
+    (``EAGAIN``) and the thread continues *without* the lock: its
+    critical section runs unprotected and its now-unmatched RELEASE is
+    tolerated as a no-op, exactly like a program that ignores the
+    return value of ``pthread_mutex_lock``.
+``fail-malloc``
+    The next ALLOC request returns NULL (address 0) and emits no event;
+    the program's subsequent accesses through the NULL-based pointer
+    and its ``free(NULL)`` (a no-op, as in C) land in the trace.
+``truncate``
+    The trace ends on the spot, mid-quantum — the stream a crashed or
+    SIGKILLed target leaves behind.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+KILL_THREAD = "kill-thread"
+FAIL_ACQUIRE = "fail-acquire"
+FAIL_MALLOC = "fail-malloc"
+TRUNCATE = "truncate"
+
+#: Every injectable fault kind.
+FAULT_KINDS = (KILL_THREAD, FAIL_ACQUIRE, FAIL_MALLOC, TRUNCATE)
+
+#: Default generation mix: truncation is excluded because it silently
+#: shortens every measurement the trace feeds; campaigns opt in.
+DEFAULT_KINDS = (KILL_THREAD, FAIL_ACQUIRE, FAIL_MALLOC)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: ``kind`` becomes due once the trace holds
+    ``at_event`` events (armed kinds fire at the next matching request)."""
+
+    kind: str
+    at_event: int
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.at_event < 0:
+            raise ValueError(f"at_event must be >= 0, got {self.at_event}")
+
+
+class FaultPlan:
+    """An immutable, ordered set of :class:`FaultSpec`.
+
+    A plan is pure data — the scheduler materializes per-run state with
+    :meth:`injector`, so one plan can drive any number of runs.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()):
+        self.specs: Tuple[FaultSpec, ...] = tuple(
+            sorted(specs, key=lambda s: s.at_event)
+        )
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s.kind}@{s.at_event}" for s in self.specs)
+        return f"FaultPlan([{inner}])"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        max_faults: int = 2,
+        kinds: Sequence[str] = DEFAULT_KINDS,
+        horizon: int = 2000,
+        always: bool = False,
+    ) -> "FaultPlan":
+        """A seeded random plan: equal seeds yield equal plans.
+
+        Draws 0..``max_faults`` faults (1..``max_faults`` when
+        ``always``) of the given ``kinds`` at event indices uniform in
+        ``[1, horizon)`` — faults planned past the end of the actual
+        trace simply never fire.
+        """
+        if max_faults < 0:
+            raise ValueError(f"max_faults must be >= 0, got {max_faults}")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        rng = random.Random(seed)
+        lo = 1 if always else 0
+        n = rng.randint(lo, max_faults) if max_faults else 0
+        specs = [
+            FaultSpec(rng.choice(list(kinds)), rng.randrange(1, max(horizon, 2)))
+            for _ in range(n)
+        ]
+        return cls(specs)
+
+    def injector(self) -> "FaultInjector":
+        """Fresh per-run mutable state for the scheduler."""
+        return FaultInjector(self)
+
+
+@dataclass
+class InjectedFault:
+    """One fault that actually fired during a run (``trace.faults``)."""
+
+    kind: str
+    at_event: int  # trace length when the fault fired
+    tid: int
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "at_event": self.at_event,
+            "tid": self.tid,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InjectedFault":
+        return cls(
+            kind=str(data["kind"]),
+            at_event=int(data["at_event"]),  # type: ignore[arg-type]
+            tid=int(data["tid"]),  # type: ignore[arg-type]
+            detail=dict(data.get("detail", {})),  # type: ignore[arg-type]
+        )
+
+
+class FaultInjector:
+    """Per-run fault state the scheduler consults.
+
+    The scheduler polls :meth:`due` before dispatching each request;
+    due ``kill-thread``/``truncate`` specs act immediately, while
+    ``fail-acquire``/``fail-malloc`` specs *arm* and fire at the next
+    matching request (taken via :meth:`take`).  Fired faults accumulate
+    in :attr:`records`.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self._pending: List[FaultSpec] = list(plan.specs)
+        self._armed: Dict[str, int] = {FAIL_ACQUIRE: 0, FAIL_MALLOC: 0}
+        #: (tid, sid) pairs whose acquire failed: the matching unmatched
+        #: release is tolerated as a no-op instead of a SyncError.
+        self.failed_locks: set = set()
+        self.records: List[InjectedFault] = []
+
+    def due(self, n_events: int) -> Optional[FaultSpec]:
+        """Pop the next spec whose trigger point has been reached."""
+        if self._pending and self._pending[0].at_event <= n_events:
+            return self._pending.pop(0)
+        return None
+
+    def arm(self, kind: str) -> None:
+        self._armed[kind] += 1
+
+    def take(self, kind: str) -> bool:
+        """Consume one armed fault of ``kind``, if any."""
+        if self._armed.get(kind, 0) > 0:
+            self._armed[kind] -= 1
+            return True
+        return False
+
+    def record(
+        self, kind: str, at_event: int, tid: int, **detail: object
+    ) -> InjectedFault:
+        fault = InjectedFault(kind, at_event, tid, dict(detail))
+        self.records.append(fault)
+        return fault
+
+    def forgive_release(self, tid: int, sid: int, owner: Optional[int]) -> bool:
+        """True when ``tid`` releasing ``sid`` is the unmatched release
+        following an injected acquire failure (and not a re-acquired
+        hold), so the scheduler should treat it as a no-op."""
+        if owner == tid:
+            return False
+        if (tid, sid) in self.failed_locks:
+            self.failed_locks.discard((tid, sid))
+            return True
+        return False
+
+    def record_dicts(self) -> List[Dict[str, object]]:
+        """JSON-serializable form of :attr:`records` (trace metadata)."""
+        return [f.as_dict() for f in self.records]

@@ -12,6 +12,13 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+from repro.runtime.faults import (
+    FAIL_ACQUIRE,
+    FAIL_MALLOC,
+    KILL_THREAD,
+    TRUNCATE,
+    FaultPlan,
+)
 from repro.runtime.events import (
     ACQUIRE,
     ALLOC,
@@ -117,8 +124,20 @@ class Scheduler:
         self.expected_length = expected_length
 
     # ------------------------------------------------------------------
-    def run(self, program: Program, max_events: Optional[int] = None) -> Trace:
-        """Execute ``program`` to completion and return its trace."""
+    def run(
+        self,
+        program: Program,
+        max_events: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> Trace:
+        """Execute ``program`` to completion and return its trace.
+
+        ``faults`` arms a deterministic :class:`FaultPlan` (thread
+        kills, acquire/malloc failures, truncation); faults that fire
+        are recorded on the returned trace's ``faults`` list — including
+        the partial trace attached to a deadlock error.
+        """
+        injector = faults.injector() if faults is not None else None
         rng = random.Random(self.seed)
         heap = VirtualHeap()
         syncs = SyncTable()
@@ -186,7 +205,7 @@ class Scheduler:
                 }
                 err = SchedulerError(f"deadlock: blocked threads {blocked}")
                 err.partial_trace = self._finalize(
-                    program, events, next_tid, heap
+                    program, events, next_tid, heap, injector
                 )
                 raise err
             if pct:
@@ -206,6 +225,31 @@ class Scheduler:
                 budget = rng.randint(*self.quantum)
 
             while budget > 0 and t.state == RUNNABLE:
+                if injector is not None:
+                    spec = injector.due(len(events))
+                    while spec is not None:
+                        if spec.kind == TRUNCATE:
+                            injector.record(TRUNCATE, len(events), t.tid)
+                            return self._finalize(
+                                program, events, next_tid, heap, injector
+                            )
+                        if spec.kind == KILL_THREAD:
+                            # The thread dies without unwinding: its
+                            # held mutexes stay held (no RELEASE is
+                            # emitted), joiners are woken as after
+                            # pthread_cancel + pthread_join.
+                            injector.record(
+                                KILL_THREAD,
+                                len(events),
+                                t.tid,
+                                held_locks=syncs.mutexes_held_by(t.tid),
+                            )
+                            finish(t)
+                        else:  # FAIL_ACQUIRE / FAIL_MALLOC
+                            injector.arm(spec.kind)
+                        spec = injector.due(len(events))
+                    if t.state != RUNNABLE:  # the kill landed on t
+                        break
                 budget -= 1
                 try:
                     req = t.it.send(t.send_value)
@@ -221,7 +265,16 @@ class Scheduler:
 
                 elif code == ACQUIRE:
                     sid, site = req[1], req[3]
-                    if syncs.mutex(sid).try_acquire(tid):
+                    if injector is not None and injector.take(FAIL_ACQUIRE):
+                        # Error-checking mutex failure (EAGAIN): the
+                        # thread continues without the lock, so its
+                        # critical section runs unprotected and its
+                        # matching release becomes a tolerated no-op.
+                        injector.record(
+                            FAIL_ACQUIRE, len(events), tid, lock=sid
+                        )
+                        injector.failed_locks.add((tid, sid))
+                    elif syncs.mutex(sid).try_acquire(tid):
                         append((ACQUIRE, tid, sid, 1, site))
                     else:
                         t.state = BLOCKED
@@ -229,15 +282,20 @@ class Scheduler:
 
                 elif code == RELEASE:
                     sid, site = req[1], req[3]
-                    syncs.mutex(sid).release(tid)  # raises on misuse
-                    append((RELEASE, tid, sid, 1, site))
-                    # Hand-off: the mutex object already assigned the new
-                    # owner inside release(); find and wake them.
-                    owner = syncs.mutex(sid).owner
-                    if owner is not None and owner != tid:
-                        wt = threads[owner]
-                        if wt.state == BLOCKED:
-                            grant_mutex(owner, sid, wt.blocked_on[2])
+                    if injector is not None and injector.forgive_release(
+                        tid, sid, syncs.mutex(sid).owner
+                    ):
+                        pass  # unmatched release after a failed acquire
+                    else:
+                        syncs.mutex(sid).release(tid)  # raises on misuse
+                        append((RELEASE, tid, sid, 1, site))
+                        # Hand-off: the mutex object already assigned the
+                        # new owner inside release(); find and wake them.
+                        owner = syncs.mutex(sid).owner
+                        if owner is not None and owner != tid:
+                            wt = threads[owner]
+                            if wt.state == BLOCKED:
+                                grant_mutex(owner, sid, wt.blocked_on[2])
 
                 elif code == FORK:
                     child = spawn(req[1])
@@ -259,13 +317,24 @@ class Scheduler:
                         t.blocked_on = ("join", target)
 
                 elif code == ALLOC:
-                    addr = heap.alloc(req[1])
-                    append((ALLOC, tid, addr, req[1], req[3]))
-                    t.send_value = addr
+                    if injector is not None and injector.take(FAIL_MALLOC):
+                        # malloc failure: the body receives NULL and no
+                        # ALLOC event enters the trace.
+                        injector.record(
+                            FAIL_MALLOC, len(events), tid, size=req[1]
+                        )
+                        t.send_value = 0
+                    else:
+                        addr = heap.alloc(req[1])
+                        append((ALLOC, tid, addr, req[1], req[3]))
+                        t.send_value = addr
 
                 elif code == FREE:
-                    heap.free(req[1])  # raises on double free
-                    append((FREE, tid, req[1], req[2], req[3]))
+                    if req[1] == 0:
+                        pass  # free(NULL) is a no-op, as in C
+                    else:
+                        heap.free(req[1])  # raises on double free
+                        append((FREE, tid, req[1], req[2], req[3]))
 
                 elif code == BARRIER:
                     sid, parties, site = req[1], req[2], req[3]
@@ -378,13 +447,15 @@ class Scheduler:
                     raise SchedulerError(f"unknown request code {code}")
 
                 if max_events is not None and len(events) >= max_events:
-                    return self._finalize(program, events, next_tid, heap)
+                    return self._finalize(
+                        program, events, next_tid, heap, injector
+                    )
 
-        return self._finalize(program, events, next_tid, heap)
+        return self._finalize(program, events, next_tid, heap, injector)
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _finalize(program, events, n_threads, heap) -> Trace:
+    def _finalize(program, events, n_threads, heap, injector=None) -> Trace:
         return Trace(
             events,
             name=program.name,
@@ -395,4 +466,5 @@ class Scheduler:
                 "free_count": heap.free_count,
                 "peak_live_bytes": heap.peak_live_bytes,
             },
+            faults=injector.record_dicts() if injector is not None else None,
         )

@@ -209,6 +209,15 @@ class SyncTable:
     def mutex(self, sid: int) -> Mutex:
         return self._get(sid, Mutex)
 
+    def mutexes_held_by(self, tid: int) -> List[int]:
+        """Ids of every mutex currently owned by ``tid`` (used to record
+        what a fault-killed thread took to its grave)."""
+        return sorted(
+            sid
+            for sid, obj in self._objs.items()
+            if isinstance(obj, Mutex) and obj.owner == tid
+        )
+
     def barrier(self, sid: int, parties: int) -> Barrier:
         return self._get(sid, Barrier, parties)
 

@@ -7,6 +7,7 @@ interleaving — the property that makes per-detector comparisons fair.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 import numpy as np
@@ -23,11 +24,15 @@ class Trace:
         name: str = "trace",
         n_threads: int = 1,
         heap_stats: Optional[Dict[str, int]] = None,
+        faults: Optional[List[dict]] = None,
     ):
         self.events = events
         self.name = name
         self.n_threads = n_threads
         self.heap_stats = heap_stats or {}
+        #: faults injected while this trace was scheduled (see
+        #: :mod:`repro.runtime.faults`); empty for clean runs.
+        self.faults = faults or []
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -91,6 +96,7 @@ class Trace:
             name=name if name is not None else self.name,
             n_threads=self.n_threads,
             heap_stats=dict(self.heap_stats),
+            faults=[dict(f) for f in self.faults],
         )
 
     def tids(self) -> Set[int]:
@@ -129,6 +135,7 @@ class Trace:
             heap_vals=np.asarray(list(self.heap_stats.values()), dtype=np.int64)
             if self.heap_stats
             else np.zeros(0, dtype=np.int64),
+            faults=np.asarray(json.dumps(self.faults)),
         )
 
     @classmethod
@@ -138,11 +145,14 @@ class Trace:
         events = [tuple(int(x) for x in row) for row in data["events"]]
         keys = [str(k) for k in data["heap_keys"]]
         vals = [int(v) for v in data["heap_vals"]]
+        # Archives written before fault injection existed lack the key.
+        faults = json.loads(str(data["faults"])) if "faults" in data else []
         return cls(
             events,
             name=str(data["name"]),
             n_threads=int(data["n_threads"]),
             heap_stats=dict(zip(keys, vals)),
+            faults=faults,
         )
 
     def __repr__(self) -> str:

@@ -117,9 +117,9 @@ def bare_replay(trace: Trace) -> float:
         elif op == WRITE:
             sink(ev[1], ev[2], ev[3], ev[4])
         elif op == ACQUIRE:
-            sink(ev[1], ev[2])
+            sink(ev[1], ev[2], ev[3])
         elif op == RELEASE:
-            sink(ev[1], ev[2])
+            sink(ev[1], ev[2], ev[3])
         elif op == FORK:
             sink(ev[1], ev[2])
         elif op == JOIN:

@@ -1,6 +1,18 @@
 """Tests for the schedule-exploration campaign."""
 
-from repro.analysis.fuzz import format_fuzz_result, fuzz_schedules
+import time
+
+import pytest
+
+from repro.analysis.fuzz import (
+    FuzzResult,
+    TrialTimeout,
+    _time_limit,
+    format_fuzz_result,
+    fuzz_schedules,
+    run_fuzz,
+)
+from repro.detectors.base import Detector
 from repro.runtime.program import Program, ops
 
 
@@ -130,3 +142,175 @@ def test_race_before_deadlock_counts_as_racy():
     assert set(range(0x1000, 0x1004)) <= set(result.address_hits)
     text = format_fuzz_result(result)
     assert "racy before blocking" in text
+
+
+# ---------------------------------------------------------------------------
+# campaign supervision
+# ---------------------------------------------------------------------------
+
+class _CrashingDetector(Detector):
+    """Deliberately dies on the second write of every trace."""
+
+    name = "deliberate-crash"
+
+    def __init__(self):
+        super().__init__()
+        self.writes = 0
+
+    def on_write(self, tid, addr, size, site=0):
+        self.writes += 1
+        if self.writes >= 2:
+            raise IndexError("shadow index out of range")
+
+
+def test_detector_crash_counted_and_isolated():
+    """Satellite: a per-trial detector exception must not abort the
+    campaign — it is counted in ``crashed_runs``."""
+    result = fuzz_schedules(_racy_factory, detector=_CrashingDetector,
+                            trials=5)
+    assert result.trials == 5
+    assert result.crashed_runs == 5
+    text = format_fuzz_result(result)
+    assert "5 detector crash(es)" in text
+
+
+def test_crash_quarantines_and_shrinks(tmp_path):
+    from repro.analysis.quarantine import QuarantineStore, crash_predicate
+
+    qdir = str(tmp_path / "q")
+    result = fuzz_schedules(_racy_factory, detector=_CrashingDetector,
+                            trials=2, quarantine_dir=qdir,
+                            shrink_max_evals=200)
+    assert result.crashed_runs == 2
+    assert len(result.quarantined) == 2
+    store = QuarantineStore(qdir)
+    for meta in store.entries():
+        assert meta["error"]["exc_type"] == "IndexError"
+        assert meta["shrunk"] is not None
+        mini = store.load_trace(meta["id"], minimized=True)
+        assert crash_predicate(_CrashingDetector)(mini)
+        assert len(mini) <= meta["events"]
+
+
+def test_pre_crash_races_still_aggregate():
+    """Races reported before the detector died count toward the
+    manifestation statistics (the executed prefix is real evidence —
+    same principle as the deadlock partial-trace accounting)."""
+
+    class RaceThenCrash(Detector):
+        name = "race-then-crash"
+
+        def __init__(self):
+            super().__init__()
+            self.writes = 0
+
+        def on_write(self, tid, addr, size, site=0):
+            from repro.detectors.base import RaceReport
+
+            self.writes += 1
+            if self.writes == 2:
+                self.report(RaceReport(addr=addr, kind="write-write",
+                                       tid=tid, site=site, prev_tid=0))
+            if self.writes == 3:
+                raise RuntimeError("dead")
+
+    def factory():
+        def body():
+            yield ops.write(0x1000, 4, site=1)
+            yield ops.write(0x1004, 4, site=1)
+
+        return Program.from_threads([body, body], name="racy4")
+
+    result = fuzz_schedules(factory, detector=RaceThenCrash, trials=4)
+    assert result.crashed_runs == 4
+    assert result.racy_runs == 4
+    assert result.address_hits
+
+
+def test_fault_injection_accounts_faulted_and_deadlocked_runs():
+    """With kill-thread faults armed, some schedules die holding locks:
+    the deadlock's partial trace carries the fault record and the trial
+    is accounted as both deadlocked and faulted."""
+    def factory():
+        def body():
+            yield ops.acquire(1)
+            yield ops.write(0x1000, 4, site=1)
+            yield ops.release(1)
+
+        return Program.from_threads([body, body, body], name="locky")
+
+    # max_events doubles as the fault-plan horizon, so the planned
+    # event indices actually land inside these short traces
+    result = fuzz_schedules(factory, trials=40, quantum=(1, 2),
+                            faults=True, fault_kinds=("kill-thread",),
+                            max_faults=2, max_events=12)
+    assert result.trials == 40
+    assert result.faulted_runs > 0
+    # kill-thread inside a critical section leaves the peers blocked
+    assert result.deadlocked_runs > 0
+    text = format_fuzz_result(result)
+    assert "ran with injected faults" in text
+
+
+def test_max_events_caps_trials():
+    def factory():
+        def body():
+            for i in range(100):
+                yield ops.write(0x1000 + i, 1)
+
+        return Program.from_threads([body], name="long")
+
+    result = fuzz_schedules(factory, trials=3, max_events=10)
+    assert result.trials == 3  # capped, not fatal
+
+
+def test_checkpoint_and_resume(tmp_path):
+    ckpt = str(tmp_path / "fuzz.json")
+    first = fuzz_schedules(_racy_factory, trials=4, checkpoint=ckpt)
+    assert first.completed_seeds == [0, 1, 2, 3]
+
+    calls = []
+
+    def counting_factory():
+        calls.append(1)
+        return _racy_factory()
+
+    resumed = fuzz_schedules(counting_factory, trials=8, checkpoint=ckpt,
+                             resume=True)
+    # seeds 0-3 were restored from the checkpoint, not rerun
+    assert len(calls) == 4
+    assert resumed.trials == 8
+    assert resumed.racy_runs == 8
+    assert resumed.completed_seeds == list(range(8))
+
+
+def test_result_json_roundtrip():
+    result = fuzz_schedules(_racy_factory, trials=3)
+    restored = FuzzResult.from_json(result.to_json())
+    assert restored == result
+
+
+def test_time_limit_raises_trial_timeout():
+    with pytest.raises(TrialTimeout):
+        with _time_limit(0.05):
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                pass
+
+
+def test_trial_timeout_counted_not_fatal():
+    def factory():
+        def body():
+            time.sleep(0.5)
+            yield ops.write(0x1000, 4)
+
+        return Program.from_threads([body], name="slow")
+
+    result = fuzz_schedules(factory, trials=2, trial_timeout=0.05)
+    assert result.trials == 2
+    assert result.timeout_runs == 2
+    assert "2 timed out" in format_fuzz_result(result)
+
+
+def test_run_fuzz_is_the_campaign_alias():
+    assert run_fuzz is fuzz_schedules

@@ -1,0 +1,119 @@
+"""Tests for the crash quarantine store."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.quarantine import (
+    QuarantineStore,
+    crash_predicate,
+    format_entries,
+)
+from repro.detectors.base import Detector
+from repro.runtime.program import Program, ops
+from repro.runtime.scheduler import Scheduler
+
+
+class _NthWriteCrash(Detector):
+    name = "nth-write-crash"
+
+    def __init__(self, n: int = 3):
+        super().__init__()
+        self.n = n
+        self.writes = 0
+
+    def on_write(self, tid, addr, size, site=0):
+        self.writes += 1
+        if self.writes >= self.n:
+            raise ZeroDivisionError("shadow arithmetic went wrong")
+
+
+def _trace(writes: int = 8):
+    def body():
+        for i in range(writes):
+            yield ops.write(0x1000 + 4 * i, 4, site=1)
+
+    return Scheduler(seed=0).run(Program.from_threads([body], name="crashy"))
+
+
+def test_quarantine_persists_trace_and_metadata(tmp_path):
+    store = QuarantineStore(str(tmp_path / "q"))
+    trace = _trace()
+    entry = store.quarantine(
+        trace, seed=7, detector="nth-write-crash",
+        error={"exc_type": "ZeroDivisionError", "message": "boom"},
+    )
+    assert entry == "crashy-seed7"
+    meta = store.meta(entry)
+    assert meta["events"] == len(trace)
+    assert meta["seed"] == 7
+    assert meta["error"]["exc_type"] == "ZeroDivisionError"
+    assert meta["shrunk"] is None
+    loaded = store.load_trace(entry)
+    assert loaded.events == trace.events
+
+
+def test_duplicate_ids_get_suffixes(tmp_path):
+    store = QuarantineStore(str(tmp_path / "q"))
+    first = store.quarantine(_trace(), seed=1, detector="d", error={})
+    second = store.quarantine(_trace(), seed=1, detector="d", error={})
+    assert first != second
+    assert {e["id"] for e in store.entries()} == {first, second}
+
+
+def test_shrink_minimizes_to_crash_threshold(tmp_path):
+    """The shrunk trace keeps exactly the events needed to crash the
+    detector again (here: 3 writes plus the fork)."""
+    store = QuarantineStore(str(tmp_path / "q"))
+    entry = store.quarantine(_trace(writes=16), seed=0, detector="x",
+                             error={"exc_type": "ZeroDivisionError"})
+    result = store.shrink(entry, make_detector=_NthWriteCrash, max_evals=300)
+    assert crash_predicate(_NthWriteCrash)(result.minimized)
+    assert len(result.minimized) < 17
+    meta = store.meta(entry)
+    assert meta["shrunk"]["events"] == len(result.minimized)
+    mini = store.load_trace(entry, minimized=True)
+    assert len(mini) == len(result.minimized)
+
+
+def test_crash_predicate_false_on_healthy_detector():
+    pred = crash_predicate(lambda: Detector())
+    assert pred(_trace()) is False
+
+
+def test_missing_entry_raises_keyerror(tmp_path):
+    store = QuarantineStore(str(tmp_path / "q"))
+    with pytest.raises(KeyError):
+        store.meta("nope")
+    with pytest.raises(KeyError):
+        store.load_trace("nope")
+
+
+def test_entries_empty_without_directory(tmp_path):
+    assert QuarantineStore(str(tmp_path / "absent")).entries() == []
+    assert format_entries([]) == "quarantine is empty"
+
+
+def test_format_entries_lists_errors(tmp_path):
+    store = QuarantineStore(str(tmp_path / "q"))
+    entry = store.quarantine(
+        _trace(), seed=3, detector="d",
+        error={"exc_type": "KeyError", "message": "gone"},
+        faults=[{"kind": "kill-thread", "at_event": 2, "tid": 1, "detail": {}}],
+    )
+    text = format_entries(store.entries())
+    assert entry in text
+    assert "KeyError" in text
+    assert "1 injected fault(s)" in text
+    assert "not shrunk" in text
+
+
+def test_metadata_written_atomically(tmp_path):
+    store = QuarantineStore(str(tmp_path / "q"))
+    entry = store.quarantine(_trace(), seed=0, detector="d", error={})
+    # no .tmp leftovers, and the file is valid JSON
+    leftovers = [f for f in os.listdir(store.root) if f.endswith(".tmp")]
+    assert leftovers == []
+    with open(os.path.join(store.root, f"{entry}.json")) as fh:
+        json.load(fh)

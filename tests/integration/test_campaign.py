@@ -1,0 +1,123 @@
+"""Acceptance: a supervised campaign survives faults and detector crashes.
+
+ISSUE scenario: a fuzz campaign armed with thread-kill and
+malloc-failure faults, driving a deliberately crashing detector, must
+run to completion, quarantine and shrink the crashing trace, and resume
+from its checkpoint without rerunning completed seeds.
+"""
+
+import os
+
+from repro.analysis.fuzz import FuzzResult, fuzz_schedules, format_fuzz_result
+from repro.analysis.quarantine import QuarantineStore, crash_predicate
+from repro.detectors.fasttrack import FastTrackDetector
+from repro.runtime.program import Program, ops
+
+
+class DeliberateCrash(FastTrackDetector):
+    """FastTrack that corrupts itself after a handful of writes."""
+
+    name = "deliberate-crash"
+
+    def __init__(self):
+        super().__init__(granularity=1)
+        self.writes = 0
+
+    def on_write(self, tid, addr, size, site=0):
+        self.writes += 1
+        if self.writes > 6:
+            raise RuntimeError("shadow table corrupted")
+        super().on_write(tid, addr, size, site)
+
+
+def _workload_factory():
+    """Lock-and-malloc workload: gives kill-thread a critical section
+    to die in and fail-malloc an ALLOC to refuse."""
+
+    def body():
+        block = yield ops.alloc(64)
+        yield ops.acquire(1)
+        for i in range(4):
+            yield ops.write(block + 4 * i, 4, site=1)
+        yield ops.release(1)
+        yield ops.free(block, 64)
+
+    return Program.from_threads([body, body, body], name="campaign")
+
+
+def test_campaign_survives_faults_and_crashes(tmp_path):
+    qdir = str(tmp_path / "quarantine")
+    ckpt = str(tmp_path / "campaign.json")
+
+    result = fuzz_schedules(
+        _workload_factory,
+        detector=DeliberateCrash,
+        trials=12,
+        quantum=(1, 4),
+        faults=True,
+        fault_kinds=("kill-thread", "fail-malloc"),
+        max_faults=2,
+        max_events=40,
+        trial_timeout=30,
+        quarantine_dir=qdir,
+        shrink_max_evals=200,
+        checkpoint=ckpt,
+    )
+
+    # 1. ran to completion despite every trial crashing the detector
+    assert result.trials == 12
+    assert result.crashed_runs == 12
+    assert result.completed_seeds == list(range(12))
+    assert result.faulted_runs > 0, "fault plans must actually fire"
+
+    # 2. crashing traces quarantined with metadata and auto-shrunk
+    store = QuarantineStore(qdir)
+    entries = store.entries()
+    assert len(entries) == 12
+    still_crashes = crash_predicate(DeliberateCrash)
+    for meta in entries[:3]:
+        assert meta["error"]["exc_type"] == "RuntimeError"
+        assert meta["error"]["op"] == "on_write"
+        assert meta["shrunk"] is not None
+        mini = store.load_trace(meta["id"], minimized=True)
+        assert len(mini) <= meta["events"]
+        assert still_crashes(mini)
+
+    # 3. the checkpoint restores and a resumed campaign skips all done
+    #    seeds (no new quarantine entries, identical result)
+    assert FuzzResult.load(ckpt) == result
+    resumed = fuzz_schedules(
+        _workload_factory,
+        detector=DeliberateCrash,
+        trials=12,
+        quarantine_dir=qdir,
+        checkpoint=ckpt,
+        resume=True,
+    )
+    assert resumed == result
+    assert len(store.entries()) == 12
+
+    text = format_fuzz_result(result)
+    assert "12 detector crash(es)" in text
+    assert "quarantined traces:" in text
+
+
+def test_campaign_with_healthy_detector_and_faults(tmp_path):
+    """Same supervision, stock detector: no crashes, no quarantine, and
+    fault-broken schedules (deadlocks from kill-thread) are accounted
+    rather than fatal."""
+    qdir = str(tmp_path / "quarantine")
+    result = fuzz_schedules(
+        _workload_factory,
+        trials=20,
+        quantum=(1, 4),
+        faults=True,
+        fault_kinds=("kill-thread", "fail-malloc"),
+        max_events=40,
+        quarantine_dir=qdir,
+    )
+    assert result.trials == 20
+    assert result.crashed_runs == 0
+    assert result.quarantined == []
+    assert not os.path.isdir(qdir)  # store directory is created lazily
+    assert result.faulted_runs > 0

@@ -1,0 +1,162 @@
+"""Tests for deterministic fault injection (runtime/faults.py)."""
+
+import pytest
+
+from repro.runtime.faults import (
+    DEFAULT_KINDS,
+    FAIL_ACQUIRE,
+    FAIL_MALLOC,
+    FAULT_KINDS,
+    KILL_THREAD,
+    TRUNCATE,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.runtime.program import ACQUIRE, RELEASE, Program, ops
+from repro.runtime.scheduler import Scheduler, SchedulerError
+from repro.runtime.trace import Trace
+
+
+def test_plan_generation_is_deterministic():
+    a = FaultPlan.generate(42, max_faults=4, kinds=FAULT_KINDS)
+    b = FaultPlan.generate(42, max_faults=4, kinds=FAULT_KINDS)
+    assert a.specs == b.specs
+    # different seeds eventually differ
+    assert any(
+        FaultPlan.generate(s, max_faults=4, always=True).specs != a.specs
+        for s in range(10)
+    )
+
+
+def test_plan_specs_sorted_and_validated():
+    plan = FaultPlan([FaultSpec(TRUNCATE, 9), FaultSpec(KILL_THREAD, 3)])
+    assert [s.at_event for s in plan.specs] == [3, 9]
+    with pytest.raises(ValueError):
+        FaultSpec("segfault", 1)
+    with pytest.raises(ValueError):
+        FaultSpec(TRUNCATE, -1)
+
+
+def test_generate_always_draws_at_least_one():
+    for seed in range(20):
+        assert len(FaultPlan.generate(seed, always=True)) >= 1
+
+
+def test_default_kinds_exclude_truncation():
+    assert TRUNCATE not in DEFAULT_KINDS
+    assert set(DEFAULT_KINDS) < set(FAULT_KINDS)
+
+
+def _lock_pair_program():
+    def t1():
+        yield ops.acquire(1)
+        yield ops.write(0x100, 4)
+        yield ops.release(1)
+
+    def t2():
+        yield ops.acquire(1)
+        yield ops.write(0x100, 4)
+        yield ops.release(1)
+
+    return Program.from_threads([t1, t2], name="lock-pair")
+
+
+def test_kill_thread_dies_holding_locks():
+    """A thread killed inside its critical section never releases the
+    mutex, so the peer blocks forever: the deadlock error carries the
+    partial trace, and that trace records the injected fault.
+
+    Events 0-1 are the main thread's FORKs; events 2-3 are the first
+    worker's ACQUIRE + WRITE, so the fault due at event 4 kills that
+    worker mid-critical-section."""
+    plan = FaultPlan([FaultSpec(KILL_THREAD, 4)])
+    with pytest.raises(SchedulerError) as exc:
+        Scheduler(seed=0, quantum=(16, 16)).run(_lock_pair_program(), faults=plan)
+    partial = exc.value.partial_trace
+    assert partial is not None
+    assert len(partial.faults) == 1
+    fault = partial.faults[0]
+    assert fault["kind"] == KILL_THREAD
+    assert fault["detail"]["held_locks"], "victim should die holding a lock"
+
+
+def test_fail_acquire_runs_critical_section_unprotected():
+    """The failed acquire emits no ACQUIRE event and the matching
+    release is forgiven, so the trace completes with one unprotected
+    critical section."""
+    plan = FaultPlan([FaultSpec(FAIL_ACQUIRE, 1)])
+    trace = Scheduler(seed=0, quantum=(16, 16)).run(
+        _lock_pair_program(), faults=plan
+    )
+    assert [f["kind"] for f in trace.faults] == [FAIL_ACQUIRE]
+    acquires = sum(1 for ev in trace.events if ev[0] == ACQUIRE)
+    releases = sum(1 for ev in trace.events if ev[0] == RELEASE)
+    assert acquires == releases == 1  # the un-faulted thread's pair
+
+
+def test_fail_malloc_returns_null():
+    seen = []
+
+    def body():
+        addr = yield ops.alloc(64)
+        seen.append(addr)
+        yield ops.write(addr + 4, 4)
+        yield ops.free(addr, 64)
+
+    plan = FaultPlan([FaultSpec(FAIL_MALLOC, 0)])
+    trace = Scheduler(seed=0).run(
+        Program.from_threads([body], name="oom"), faults=plan
+    )
+    assert seen == [0]
+    assert [f["kind"] for f in trace.faults] == [FAIL_MALLOC]
+    # the write through the NULL-based pointer still landed in the trace
+    assert any(ev[2] == 4 and ev[0] == 1 for ev in trace.events)
+
+
+def test_free_null_is_noop_without_faults():
+    def body():
+        yield ops.free(0, 16)
+        yield ops.write(0x100, 4)
+
+    trace = Scheduler(seed=0).run(Program.from_threads([body], name="fn"))
+    assert len(trace) >= 1  # no HeapError
+
+
+def test_truncate_cuts_trace_at_event():
+    plan = FaultPlan([FaultSpec(TRUNCATE, 3)])
+    trace = Scheduler(seed=0, quantum=(16, 16)).run(
+        _lock_pair_program(), faults=plan
+    )
+    assert len(trace) == 3
+    assert [f["kind"] for f in trace.faults] == [TRUNCATE]
+
+
+def test_faults_roundtrip_through_npz(tmp_path):
+    plan = FaultPlan([FaultSpec(TRUNCATE, 3)])
+    trace = Scheduler(seed=0, quantum=(16, 16)).run(
+        _lock_pair_program(), faults=plan
+    )
+    path = tmp_path / "t.npz"
+    trace.save(str(path))
+    loaded = Trace.load(str(path))
+    assert loaded.faults == trace.faults
+
+
+def test_traces_without_faults_key_still_load(tmp_path):
+    trace = Scheduler(seed=0).run(_lock_pair_program())
+    assert trace.faults == []
+    path = tmp_path / "t.npz"
+    trace.save(str(path))
+    assert Trace.load(str(path)).faults == []
+
+
+def test_injected_fault_dict_roundtrip():
+    fault = InjectedFault(KILL_THREAD, 7, 2, {"held_locks": [1, 3]})
+    assert InjectedFault.from_dict(fault.as_dict()) == fault
+
+
+def test_unfired_faults_leave_no_records():
+    plan = FaultPlan([FaultSpec(KILL_THREAD, 10_000)])
+    trace = Scheduler(seed=0).run(_lock_pair_program(), faults=plan)
+    assert trace.faults == []

@@ -54,3 +54,47 @@ def test_all_event_kinds_dispatch():
         Program.from_threads([body, body]), create_detector("fasttrack-byte")
     )
     assert res.race_count == 0
+
+
+def test_bare_replay_dispatch_arity_matches_replay(monkeypatch):
+    """Regression: bare_replay used to pass ACQUIRE/RELEASE with two
+    operands while replay hands detectors three, skewing the slowdown
+    baseline on sync-heavy traces.  Both loops must dispatch identical
+    argument shapes per opcode."""
+    from repro.runtime import vm
+
+    def body():
+        a = yield ops.alloc(32)
+        yield ops.acquire(1)
+        yield ops.write(a, 4)
+        yield ops.read(a, 4)
+        yield ops.release(1)
+        yield ops.free(a, 32)
+
+    trace = Scheduler(seed=0).run(Program.from_threads([body, body]))
+
+    bare_calls = []
+    monkeypatch.setattr(
+        vm._NullSink, "touch", staticmethod(lambda *a: bare_calls.append(a))
+    )
+    vm.bare_replay(trace)
+
+    replay_calls = []
+
+    class Recorder:
+        name = "recorder"
+        races = []
+
+        def statistics(self):
+            return {}
+
+        def finish(self):
+            pass
+
+        def __getattr__(self, attr):
+            if attr.startswith("on_"):
+                return lambda *a: replay_calls.append(a)
+            raise AttributeError(attr)
+
+    vm.replay(trace, Recorder())
+    assert [len(a) for a in bare_calls] == [len(a) for a in replay_calls]
