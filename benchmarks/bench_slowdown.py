@@ -1,0 +1,100 @@
+"""Perf-regression bench — batched vs unbatched dispatch.
+
+The pytest-benchmark face of ``repro-race bench``: replays each
+workload through the granularity family with both dispatch modes so
+the timing history tracks the batching win per (workload, detector),
+and regenerates ``BENCH_slowdown.json`` at the end.
+
+Invariants asserted here (cheap, every run):
+
+* batched and unbatched replay produce byte-identical race reports;
+* the coalesced feed is never longer than the raw feed, and the
+  sweep-heavy workloads compress by at least half.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, BENCH_SEED, trace_for
+from repro.detectors.registry import create_detector
+from repro.perf.batch import batch_stats
+from repro.runtime.vm import replay
+from repro.workloads.base import default_suppression
+
+DETECTORS = ("fasttrack-byte", "fasttrack-word", "fasttrack-dynamic")
+
+#: Sequential-sweep workloads where coalescing must swallow most of the
+#: dispatch stream (the paper's init/scan-dominated access patterns).
+#: hmmsearch hovers just under 50% — its interleaved streams sit inside
+#: the coalescer's MIN_STREAM_GAP — so it is not on this list.
+SWEEP_HEAVY = ("dedup", "ffmpeg", "pbzip2", "streamcluster")
+
+
+def _race_keys(result):
+    return [
+        (r.addr, r.kind, r.tid, r.site, r.prev_tid, r.prev_site, r.unit)
+        for r in result.races
+    ]
+
+
+@pytest.mark.parametrize("batched", (False, True), ids=("event", "batched"))
+@pytest.mark.parametrize("detector", DETECTORS)
+def test_dispatch_replay(benchmark, workload_name, detector, batched):
+    """Replay cost of one detector on one workload, per dispatch mode."""
+    trace = trace_for(workload_name)
+    trace.coalesced()  # build the feed outside the timed region
+
+    def run():
+        det = create_detector(detector, suppress=default_suppression)
+        return replay(trace, det, batched=batched)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.events == len(trace)
+
+
+@pytest.mark.parametrize("detector", DETECTORS)
+def test_batched_conformance(workload_name, detector):
+    """Batched dispatch must not change a single race report."""
+    trace = trace_for(workload_name)
+    plain = replay(
+        trace, create_detector(detector, suppress=default_suppression)
+    )
+    batched = replay(
+        trace,
+        create_detector(detector, suppress=default_suppression),
+        batched=True,
+    )
+    assert _race_keys(plain) == _race_keys(batched)
+    assert batched.dispatched <= plain.dispatched
+
+
+def test_compression(workload_name):
+    """The coalesced feed shrinks, a lot on sweep-heavy workloads."""
+    trace = trace_for(workload_name)
+    st = batch_stats(trace.events, trace.coalesced())
+    assert st.events_out <= st.events_in
+    if workload_name in SWEEP_HEAVY:
+        assert st.ratio <= 0.5, (
+            f"{workload_name}: expected >=50% dispatch compression, "
+            f"got {100 * (1 - st.ratio):.1f}%"
+        )
+
+
+def test_write_bench_json(benchmark, tmp_path, capsys):
+    """Regenerate the quick BENCH_slowdown.json and check its shape."""
+    from repro.perf.bench import format_bench, run_bench, write_bench
+
+    result = benchmark.pedantic(
+        run_bench, kwargs=dict(quick=True, repeats=1), rounds=1, iterations=1
+    )
+    out = tmp_path / "BENCH_slowdown.json"
+    write_bench(result, str(out))
+    assert out.exists()
+    assert result["conformance"]["divergences"] == 0
+    for wrow in result["workloads"].values():
+        for drow in wrow["detectors"].values():
+            assert drow["conforms"]
+            assert drow["unbatched"]["events_per_sec"] > 0
+            assert drow["batched"]["events_per_sec"] > 0
+    with capsys.disabled():
+        print()
+        print(format_bench(result))

@@ -15,6 +15,7 @@ Reproduces the paper's measures:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -67,6 +68,108 @@ class Measurement:
     def max_vectors(self) -> Optional[int]:
         v = self.stats.get("max_vectors")
         return int(v) if v is not None else None
+
+
+class TimedDetector:
+    """Per-callback timing wrapper: counts and accumulated seconds for
+    every callback kind, exposed as ``statistics()["perf"]``.
+
+    The instrumentation is two ``perf_counter`` reads per callback — a
+    cost profile, not a benchmark: use it to see *where* a detector
+    spends its replay time (read path vs write path vs sync), and use
+    plain :func:`replay` wall times for slowdown figures.
+    """
+
+    _KINDS = (
+        "on_read",
+        "on_write",
+        "on_read_batch",
+        "on_write_batch",
+        "on_acquire",
+        "on_release",
+        "on_fork",
+        "on_join",
+        "on_alloc",
+        "on_free",
+    )
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls: Dict[str, int] = {k: 0 for k in self._KINDS}
+        self.seconds: Dict[str, float] = {k: 0.0 for k in self._KINDS}
+
+    @property
+    def name(self) -> str:
+        return f"timed({self.inner.name})"
+
+    @property
+    def races(self):
+        return self.inner.races
+
+    def _timed(self, kind: str, fn, *args) -> None:
+        t0 = time.perf_counter()
+        fn(*args)
+        self.seconds[kind] += time.perf_counter() - t0
+        self.calls[kind] += 1
+
+    def on_read(self, tid, addr, size, site=0):
+        self._timed("on_read", self.inner.on_read, tid, addr, size, site)
+
+    def on_write(self, tid, addr, size, site=0):
+        self._timed("on_write", self.inner.on_write, tid, addr, size, site)
+
+    def on_read_batch(self, tid, addr, size, width, site=0):
+        self._timed(
+            "on_read_batch", self.inner.on_read_batch, tid, addr, size, width, site
+        )
+
+    def on_write_batch(self, tid, addr, size, width, site=0):
+        self._timed(
+            "on_write_batch", self.inner.on_write_batch, tid, addr, size, width, site
+        )
+
+    def on_acquire(self, tid, sync_id, is_lock=1):
+        self._timed("on_acquire", self.inner.on_acquire, tid, sync_id, is_lock)
+
+    def on_release(self, tid, sync_id, is_lock=1):
+        self._timed("on_release", self.inner.on_release, tid, sync_id, is_lock)
+
+    def on_fork(self, tid, child_tid):
+        self._timed("on_fork", self.inner.on_fork, tid, child_tid)
+
+    def on_join(self, tid, target_tid):
+        self._timed("on_join", self.inner.on_join, tid, target_tid)
+
+    def on_alloc(self, tid, addr, size):
+        self._timed("on_alloc", self.inner.on_alloc, tid, addr, size)
+
+    def on_free(self, tid, addr, size):
+        self._timed("on_free", self.inner.on_free, tid, addr, size)
+
+    def finish(self):
+        self.inner.finish()
+
+    def perf(self) -> Dict[str, object]:
+        """The timing breakdown: per-callback calls/seconds plus totals."""
+        calls = {k: v for k, v in self.calls.items() if v}
+        seconds = {k: self.seconds[k] for k in calls}
+        total_s = sum(seconds.values())
+        total_c = sum(calls.values())
+        return {
+            "calls": calls,
+            "seconds": seconds,
+            "total_calls": total_c,
+            "total_seconds": total_s,
+            "mean_us_per_call": (1e6 * total_s / total_c) if total_c else 0.0,
+        }
+
+    def statistics(self) -> Dict[str, object]:
+        stats = dict(self.inner.statistics())
+        stats["perf"] = self.perf()
+        return stats
+
+    def __getattr__(self, attr: str):
+        return getattr(self.inner, attr)
 
 
 def base_memory_of(trace: Trace) -> int:

@@ -19,6 +19,7 @@
     repro-race conform --workload streamcluster --seeds 3
     repro-race golden regen
     repro-race golden verify
+    repro-race bench [--quick] [--out BENCH_slowdown.json]
 """
 
 from __future__ import annotations
@@ -247,6 +248,41 @@ def _build_parser() -> argparse.ArgumentParser:
     golden.add_argument("action", choices=("regen", "verify"))
     golden.add_argument(
         "--dir", help="corpus directory (default: tests/golden)"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-regression bench: events/sec + slowdown per detector, "
+        "batched vs unbatched dispatch",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: streamcluster/pbzip2/facesim at small scale",
+    )
+    bench.add_argument(
+        "--out", "-o", default="BENCH_slowdown.json",
+        help="result JSON path (default: BENCH_slowdown.json)",
+    )
+    bench.add_argument(
+        "--workloads", help="comma-separated subset (default: all benchmarks)"
+    )
+    bench.add_argument(
+        "--detectors",
+        help="comma-separated detector names "
+        "(default: fasttrack-byte,fasttrack-word,fasttrack-dynamic)",
+    )
+    bench.add_argument("--scale", type=float)
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--batch-span", type=int, help="max coalesced range in bytes"
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="also collect the per-callback timing breakdown "
+        "(statistics()['perf']) for each detector",
     )
 
     return parser
@@ -526,6 +562,51 @@ def _cmd_golden(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.perf.bench import (
+        DEFAULT_DETECTORS,
+        format_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.detectors:
+        detectors = [d.strip() for d in args.detectors.split(",") if d.strip()]
+        for name in detectors:
+            if name not in available_detectors():
+                print(f"unknown detector {name!r}")
+                return 2
+    else:
+        detectors = list(DEFAULT_DETECTORS)
+    workloads = (
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else None
+    )
+    if workloads:
+        for name in workloads:
+            if name not in workload_names():
+                print(f"unknown workload {name!r}")
+                return 2
+    result = run_bench(
+        workloads=workloads,
+        detectors=detectors,
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        batch_span=args.batch_span,
+        quick=args.quick,
+        profile=args.profile,
+    )
+    write_bench(result, args.out)
+    print(format_bench(result))
+    print(f"wrote {args.out}")
+    if result["conformance"]["divergences"]:
+        print("FAIL: batched dispatch diverged from unbatched replay")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-race`` console script."""
     args = _build_parser().parse_args(argv)
@@ -555,6 +636,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_conform(args)
     if args.command == "golden":
         return _cmd_golden(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

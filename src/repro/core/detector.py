@@ -85,6 +85,7 @@ class DynamicGranularityDetector(VectorClockRuntime):
         self.total_accesses = 0
         self.same_epoch_hits = 0
         self.checked_accesses = 0
+        self._finished = False
 
     # ------------------------------------------------------------------
     # epoch bookkeeping
@@ -371,6 +372,7 @@ class DynamicGranularityDetector(VectorClockRuntime):
             read_segs = ((addr, end, rg0),)
         else:
             read_segs = rm.overlaps(addr, end)
+        raced_reads: List[Group] = []
         for lo, hi, rg in read_segs:
             if rg is None:
                 continue
@@ -382,6 +384,7 @@ class DynamicGranularityDetector(VectorClockRuntime):
                 self._report_group(
                     rm, rg, READ_WRITE, tid, site, prev[0] if prev else -1
                 )
+                raced_reads.append(rg)
                 for lo2, hi2, wg2 in wm.overlaps(lo, hi):
                     if wg2 is not None:
                         raced.append(wg2)
@@ -389,6 +392,11 @@ class DynamicGranularityDetector(VectorClockRuntime):
                 # FastTrack WRITE SHARED: deflate the read clock.
                 r.reset()
                 rm.recharge_clock(rg)
+        if raced_reads:
+            # Dissolve the racy read groups too, so the RACE guard
+            # above short-circuits later conflicting writes instead of
+            # re-running the full leq() check per member forever.
+            self._set_race(rm, raced_reads)
         if raced:
             self._set_race(wm, raced)
 
@@ -475,6 +483,167 @@ class DynamicGranularityDetector(VectorClockRuntime):
             self._set_race(rm, raced)
 
     # ------------------------------------------------------------------
+    # batched dispatch
+    # ------------------------------------------------------------------
+    # The granularity heuristic feeds on per-access sizes (group widths,
+    # second-epoch neighbour offsets), so the base class's "one ranged
+    # call" default would change what it detects.  These overrides are
+    # exact by construction: either the whole run provably lands on a
+    # same-epoch fast path (with no state change beyond bitmap bits and
+    # counters, applied wholesale), or it is a first touch of untouched
+    # territory with no neighbours in scan range (one ranged
+    # first-access builds the same Init group the per-access adopt
+    # chain would), or the run is replayed access by access at its
+    # original width.
+
+    def _fresh_range(self, mgr, other, addr: int, end: int) -> bool:
+        """No group of ``mgr`` within neighbour-scan range of
+        ``[addr, end)`` and no group of ``other`` overlapping it —
+        per-access replay could only build one adopt-extended Init
+        group and every history check would come up empty.
+
+        Probed with the entry-walking successor scan (an absent hash
+        entry skips 128 addresses per dict miss), so a failed probe on
+        densely grouped territory stays cheap.
+        """
+        # At least 1 byte of margin: the adopt fast path in
+        # _first_access looks at the directly adjacent byte even when
+        # the neighbour-scan limit is 0.
+        margin = max(self.config.neighbor_scan_limit, 1)
+        start = addr - margin - 1
+        if start < -1:
+            start = -1
+        if mgr.table.successor(start, end + margin - 1 - start) is not None:
+            return False
+        return other.table.successor(addr - 1, end - addr) is None
+
+    def on_read_batch(
+        self, tid: int, addr: int, size: int, width: int, site: int = 0
+    ) -> None:
+        n, rem = divmod(size, width) if width > 0 else (0, 1)
+        if rem or n <= 1:
+            self.on_read(tid, addr, size, site)
+            return
+        bm = self._bitmap(self._read_seen, tid)
+        if bm.test(addr, size):
+            # Every member access would hit the bitmap fast path.
+            self.total_accesses += n
+            self.same_epoch_hits += n
+            return
+        end = addr + size
+        rm = self._rg
+        g = rm.table.get(addr)
+        if (
+            g is not None
+            and g.lo <= addr
+            and g.hi >= end
+            and g.count == g.hi - g.lo
+        ):
+            vc = self._vc(tid)
+            if g.r.same_epoch(vc.get(tid), tid):
+                # Every member access would hit either the bitmap or
+                # the group fast path; both only set bitmap bits.  The
+                # fast paths never mutate group state, so the covering
+                # condition holds for the whole run.
+                bm.set_range(addr, size)
+                self.total_accesses += n
+                self.same_epoch_hits += n
+                return
+        cfg = self.config
+        if (
+            cfg.init_state
+            and cfg.share_at_init
+            and not bm.any_set(addr, size)
+            and self._fresh_range(rm, self._wg, addr, end)
+        ):
+            vc = self._vc(tid)
+            g = self._first_access(rm, addr, end, vc.get(tid), tid, vc, site)
+            g.state = INIT_SHARED
+            bm.set_range(addr, size)
+            self.total_accesses += n
+            return
+        # Per-access replay — but an epoch re-sweep of one covering
+        # group only does real work on the first access (which stamps
+        # the group); re-test the covering fast path after it and bulk
+        # the remainder, exactly as each remaining access would.
+        self.on_read(tid, addr, width, site)
+        a = addr + width
+        g = rm.table.get(a)
+        if (
+            g is not None
+            and g.lo <= a
+            and g.hi >= end
+            and g.count == g.hi - g.lo
+            and g.r.same_epoch(self._vc(tid).get(tid), tid)
+        ):
+            bm.set_range(a, end - a)
+            self.total_accesses += n - 1
+            self.same_epoch_hits += n - 1
+            return
+        while a < end:
+            self.on_read(tid, a, width, site)
+            a += width
+
+    def on_write_batch(
+        self, tid: int, addr: int, size: int, width: int, site: int = 0
+    ) -> None:
+        n, rem = divmod(size, width) if width > 0 else (0, 1)
+        if rem or n <= 1:
+            self.on_write(tid, addr, size, site)
+            return
+        bm = self._bitmap(self._write_seen, tid)
+        if bm.test(addr, size):
+            self.total_accesses += n
+            self.same_epoch_hits += n
+            return
+        end = addr + size
+        wm = self._wg
+        g = wm.table.get(addr)
+        if (
+            g is not None
+            and g.lo <= addr
+            and g.hi >= end
+            and g.count == g.hi - g.lo
+        ):
+            vc = self._vc(tid)
+            if g.wc == vc.get(tid) and g.wt == tid:
+                bm.set_range(addr, size)
+                self.total_accesses += n
+                self.same_epoch_hits += n
+                return
+        cfg = self.config
+        if (
+            cfg.init_state
+            and cfg.share_at_init
+            and not bm.any_set(addr, size)
+            and self._fresh_range(wm, self._rg, addr, end)
+        ):
+            vc = self._vc(tid)
+            g = self._first_access(wm, addr, end, vc.get(tid), tid, vc, site)
+            g.state = INIT_SHARED
+            bm.set_range(addr, size)
+            self.total_accesses += n
+            return
+        self.on_write(tid, addr, width, site)
+        a = addr + width
+        g = wm.table.get(a)
+        if (
+            g is not None
+            and g.lo <= a
+            and g.hi >= end
+            and g.count == g.hi - g.lo
+        ):
+            vc = self._vc(tid)
+            if g.wc == vc.get(tid) and g.wt == tid:
+                bm.set_range(a, end - a)
+                self.total_accesses += n - 1
+                self.same_epoch_hits += n - 1
+                return
+        while a < end:
+            self.on_write(tid, a, width, site)
+            a += width
+
+    # ------------------------------------------------------------------
     def on_free(self, tid: int, addr: int, size: int) -> None:
         self._wg.remove_range(addr, addr + size)
         self._rg.remove_range(addr, addr + size)
@@ -482,6 +651,11 @@ class DynamicGranularityDetector(VectorClockRuntime):
         self._racy.difference_update(stale)
 
     def finish(self) -> None:
+        # One-shot: guard/compare drivers may call finish() more than
+        # once, and the bitmap pages must be charged exactly once.
+        if self._finished:
+            return
+        self._finished = True
         sz = self.memory.sizes
         pages = sum(
             bm.pages_touched_peak

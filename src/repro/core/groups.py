@@ -359,22 +359,13 @@ class GroupManager:
 
     def nearest_left(self, addr: int, limit: int) -> Optional[Group]:
         """Group of the nearest member byte in ``[addr-limit, addr)``."""
-        get = self.table.get
-        lo = max(addr - limit, 0)
-        for a in range(addr - 1, lo - 1, -1):
-            g = get(a)
-            if g is not None:
-                return g
-        return None
+        hit = self.table.predecessor(addr, limit)
+        return hit[1] if hit is not None else None
 
     def nearest_right(self, addr: int, limit: int) -> Optional[Group]:
         """Group of the nearest member byte in ``(addr, addr+limit]``."""
-        get = self.table.get
-        for a in range(addr + 1, addr + limit + 1):
-            g = get(a)
-            if g is not None:
-                return g
-        return None
+        hit = self.table.successor(addr, limit)
+        return hit[1] if hit is not None else None
 
     # ------------------------------------------------------------------
     def remove_range(self, a: int, b: int) -> None:

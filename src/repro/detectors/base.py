@@ -66,6 +66,27 @@ class Detector:
     def on_write(self, tid: int, addr: int, size: int, site: int = 0) -> None:
         """A shared write of ``size`` bytes at ``addr`` by ``tid``."""
 
+    # -- batched dispatch (repro.perf.batch) ----------------------------
+    def on_read_batch(
+        self, tid: int, addr: int, size: int, width: int, site: int = 0
+    ) -> None:
+        """A coalesced run of ``size // width`` adjacent ``width``-byte
+        reads, consecutive in trace order (one thread, one epoch).
+
+        The default treats the run as one ranged read — exactly
+        equivalent for detectors whose shadow state is per fixed-size
+        unit.  Detectors whose behaviour depends on the access *width*
+        (dynamic granularity) override this to preserve per-access
+        semantics.
+        """
+        self.on_read(tid, addr, size, site)
+
+    def on_write_batch(
+        self, tid: int, addr: int, size: int, width: int, site: int = 0
+    ) -> None:
+        """Write-side twin of :meth:`on_read_batch`."""
+        self.on_write(tid, addr, size, site)
+
     # -- synchronization callbacks --------------------------------------
     def on_acquire(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
         """``tid`` acquired sync object ``sync_id``.

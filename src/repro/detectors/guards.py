@@ -195,6 +195,19 @@ class GuardedDetector:
     def on_write(self, tid: int, addr: int, size: int, site: int = 0) -> None:
         self._dispatch("on_write", tid, addr, size, site)
 
+    def on_read_batch(
+        self, tid: int, addr: int, size: int, width: int, site: int = 0
+    ) -> None:
+        # Explicit (not via __getattr__) so batched replay keeps crash
+        # capture and budget enforcement; inner's own override — or the
+        # base-class ranged default — decides the semantics.
+        self._dispatch("on_read_batch", tid, addr, size, width, site)
+
+    def on_write_batch(
+        self, tid: int, addr: int, size: int, width: int, site: int = 0
+    ) -> None:
+        self._dispatch("on_write_batch", tid, addr, size, width, site)
+
     def on_acquire(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
         self._dispatch("on_acquire", tid, sync_id, is_lock)
 

@@ -83,6 +83,25 @@ class EpochBitmap:
         if len(pages) > self.pages_touched_peak:
             self.pages_touched_peak = len(pages)
 
+    def any_set(self, addr: int, size: int = 1) -> bool:
+        """True iff *any* bit of ``[addr, addr+size)`` is set.
+
+        Batched dispatch uses this to classify a coalesced range:
+        all-set and none-set ranges take whole-range fast paths; only
+        partially-covered ranges fall back to per-access replay.
+        """
+        pages = self._pages
+        end = addr + size
+        a = addr
+        while a < end:
+            page = a >> PAGE_SHIFT
+            bit = a & PAGE_MASK
+            span = min(end - a, PAGE_SIZE - bit)
+            if pages.get(page, 0) & (((1 << span) - 1) << bit):
+                return True
+            a += span
+        return False
+
     def test(self, addr: int, size: int = 1) -> bool:
         """True iff every bit of ``[addr, addr+size)`` is set."""
         pages = self._pages

@@ -130,6 +130,10 @@ class ShadowTable:
         if entry is None:
             return [None] * (hi - lo)
         if len(entry) < self.m:
+            if hi - lo == 1 and not lo & 3:
+                # A single word-aligned byte is directly servable from
+                # the word-indexed entry.
+                return [entry[(lo & self._mask) >> 2]]
             return None
         i0 = lo & self._mask
         return entry[i0 : i0 + (hi - lo)]
@@ -238,28 +242,109 @@ class ShadowTable:
                         yield base + idx, rec
 
     def items_in_range(self, base: int, size: int) -> Iterator[Tuple[int, object]]:
-        """Yield (addr, record) pairs in ``[base, base+size)`` in order."""
-        for addr in range(base, base + size):
-            rec = self.get(addr)
-            if rec is not None:
-                yield addr, rec
+        """Yield (addr, record) pairs in ``[base, base+size)`` in order.
+
+        Walks hash entries directly — absent entries are skipped
+        wholesale and present ones are scanned as slot arrays, so the
+        cost is O(entries + slots touched), not O(size) point lookups.
+        """
+        if size <= 0:
+            return
+        end = base + size
+        buckets = self._buckets
+        m = self.m
+        key = base >> self._shift
+        last_key = (end - 1) >> self._shift
+        while key <= last_key:
+            entry = buckets.get(key)
+            if entry is not None:
+                ebase = key << self._shift
+                lo = base if base > ebase else ebase
+                hi = end if end < ebase + m else ebase + m
+                if len(entry) < m:
+                    # Word-indexed: slot i covers address ebase + 4*i.
+                    for idx in range((lo - ebase + 3) >> 2, (hi - ebase + 3) >> 2):
+                        rec = entry[idx]
+                        if rec is not None:
+                            yield ebase + (idx << 2), rec
+                else:
+                    for idx in range(lo - ebase, hi - ebase):
+                        rec = entry[idx]
+                        if rec is not None:
+                            yield ebase + idx, rec
+            key += 1
 
     # ------------------------------------------------------------------
     # neighbour search (dynamic-granularity heuristic support)
     # ------------------------------------------------------------------
     def predecessor(self, addr: int, limit: int = 128):
-        """Nearest (addr', record) with ``addr - limit <= addr' < addr``."""
-        lo = max(addr - limit, 0)
-        for a in range(addr - 1, lo - 1, -1):
-            rec = self.get(a)
-            if rec is not None:
-                return a, rec
+        """Nearest (addr', record) with ``addr - limit <= addr' < addr``.
+
+        Entry-walking: an absent hash entry skips up to ``m`` addresses
+        in one dict miss (the per-byte version cost up to ``limit``
+        misses per sharing decision).
+        """
+        lo = addr - limit
+        if lo < 0:
+            lo = 0
+        a = addr - 1
+        buckets = self._buckets
+        m = self.m
+        while a >= lo:
+            key = a >> self._shift
+            ebase = key << self._shift
+            entry = buckets.get(key)
+            if entry is not None:
+                floor = lo if lo > ebase else ebase
+                if len(entry) < m:
+                    idx = (a - ebase) >> 2
+                    stop = (floor - ebase + 3) >> 2
+                    while idx >= stop:
+                        rec = entry[idx]
+                        if rec is not None:
+                            return ebase + (idx << 2), rec
+                        idx -= 1
+                else:
+                    idx = a - ebase
+                    stop = floor - ebase
+                    while idx >= stop:
+                        rec = entry[idx]
+                        if rec is not None:
+                            return ebase + idx, rec
+                        idx -= 1
+            a = ebase - 1
         return None
 
     def successor(self, addr: int, limit: int = 128):
-        """Nearest (addr', record) with ``addr < addr' <= addr + limit``."""
-        for a in range(addr + 1, addr + limit + 1):
-            rec = self.get(a)
-            if rec is not None:
-                return a, rec
+        """Nearest (addr', record) with ``addr < addr' <= addr + limit``.
+
+        Entry-walking, like :meth:`predecessor`.
+        """
+        last = addr + limit  # inclusive
+        a = addr + 1
+        buckets = self._buckets
+        m = self.m
+        while a <= last:
+            key = a >> self._shift
+            ebase = key << self._shift
+            entry = buckets.get(key)
+            if entry is not None:
+                span_last = last if last < ebase + m - 1 else ebase + m - 1
+                if len(entry) < m:
+                    idx = (a - ebase + 3) >> 2
+                    stop = (span_last - ebase) >> 2
+                    while idx <= stop:
+                        rec = entry[idx]
+                        if rec is not None:
+                            return ebase + (idx << 2), rec
+                        idx += 1
+                else:
+                    idx = a - ebase
+                    stop = span_last - ebase
+                    while idx <= stop:
+                        rec = entry[idx]
+                        if rec is not None:
+                            return ebase + idx, rec
+                        idx += 1
+            a = ebase + m
         return None

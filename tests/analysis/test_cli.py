@@ -173,3 +173,36 @@ def test_golden_cli_verify_flags_problems(tmp_path, capsys):
     corpus = str(tmp_path / "empty")
     assert main(["golden", "verify", "--dir", corpus]) == 1
     assert "no manifest" in capsys.readouterr().out
+
+
+def test_bench_command_writes_json(tmp_path, capsys):
+    import json
+
+    out = str(tmp_path / "BENCH_slowdown.json")
+    rc = main(
+        [
+            "bench", "--out", out,
+            "--workloads", "pbzip2",
+            "--detectors", "fasttrack-word",
+            "--scale", "0.2", "--repeats", "1",
+        ]
+    )
+    assert rc == 0
+    with open(out) as fh:
+        result = json.load(fh)
+    assert result["schema"] == "repro-race-bench/v1"
+    assert result["conformance"]["divergences"] == 0
+    row = result["workloads"]["pbzip2"]["detectors"]["fasttrack-word"]
+    assert row["conforms"]
+    assert row["batched"]["events_per_sec"] > 0
+    captured = capsys.readouterr().out
+    assert "pbzip2" in captured
+    assert "conformance" in captured
+
+
+def test_bench_rejects_unknown_names(capsys):
+    assert main(["bench", "--workloads", "nope"]) == 2
+    assert main(["bench", "--detectors", "bogus"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown workload" in out
+    assert "unknown detector" in out

@@ -357,3 +357,85 @@ def test_read_groups_and_write_groups_independent():
     assert wg is not rg
     assert wg.count == 8
     assert rg.count == 4
+
+
+# ----------------------------------------------------------------------
+# regressions: finish() idempotency and racy read-group dissolution
+# ----------------------------------------------------------------------
+
+def test_finish_is_idempotent():
+    det = _forked(_dyn())
+    det.on_write(0, 0x100, 16)
+    det.on_read(1, 0x200, 16)
+    det.finish()
+    first = det.statistics()
+    for _ in range(3):
+        det.finish()
+        assert det.statistics() == first
+
+
+def test_read_write_race_dissolves_the_read_group():
+    det = _forked(_dyn())
+    det.on_read(0, 0x10, 4)       # builds a 4-byte read group
+    rg = det._rg.table.get(0x10)
+    assert rg.count == 4 and rg.state != RACE
+    det.on_write(1, 0x10, 4)      # unsynced: read-write race
+    assert det.races
+    # Regression: the racy *read* group must dissolve to RACE
+    # singletons, not just the overlapping write groups.
+    for addr in range(0x10, 0x14):
+        g = det._rg.table.get(addr)
+        assert g is not None and g.count == 1 and g.state == RACE
+
+
+def test_dissolved_read_group_short_circuits_later_writes():
+    det = _forked(_dyn(), n=3)
+    det.on_read(0, 0x10, 4)
+    det.on_write(1, 0x10, 4)
+    n_races = len(det.races)
+    assert n_races
+    # A later conflicting write hits the RACE guard: the dissolved
+    # singletons are already in the racy set, so nothing is re-reported
+    # and the group structure stays put.
+    det.on_write(2, 0x10, 4)
+    assert len(det.races) == n_races
+    for addr in range(0x10, 0x14):
+        g = det._rg.table.get(addr)
+        assert g is not None and g.count == 1 and g.state == RACE
+
+
+# ----------------------------------------------------------------------
+# batched dispatch: exact statistics parity with per-access replay
+# ----------------------------------------------------------------------
+
+def _stats_after(feed_batched):
+    det = _forked(_dyn())
+    # epoch 1: t0 initializes; epoch 2: t1 re-sweeps twice.
+    if feed_batched:
+        det.on_write_batch(0, 0x100, 64, 4, site=1)
+        det.on_read_batch(1, 0x100, 64, 4, site=2)
+        det.on_read_batch(1, 0x100, 64, 4, site=2)
+        det.on_read_batch(1, 0x104, 8, 4, site=3)  # partial re-touch
+    else:
+        for a in range(0x100, 0x140, 4):
+            det.on_write(0, a, 4, site=1)
+        for _ in range(2):
+            for a in range(0x100, 0x140, 4):
+                det.on_read(1, a, 4, site=2)
+        for a in (0x104, 0x108):
+            det.on_read(1, a, 4, site=3)
+    det.finish()
+    return [(r.addr, r.kind, r.tid, r.site) for r in det.races], det.statistics()
+
+
+def test_batch_overrides_keep_statistics_identical():
+    races_plain, stats_plain = _stats_after(feed_batched=False)
+    races_batch, stats_batch = _stats_after(feed_batched=True)
+    assert races_plain == races_batch
+    assert stats_plain == stats_batch
+
+
+def test_batch_falls_back_on_ragged_runs():
+    det = _forked(_dyn())
+    det.on_write_batch(0, 0x100, 10, 4)   # 10 % 4 != 0: one ranged call
+    assert det.total_accesses == 1

@@ -171,3 +171,56 @@ def test_unaligned_access_straddles_words():
     det.on_write(1, 0x14, 1)
     assert len(det.races) == 1
     assert det.races[0].addr == 0x14
+
+
+def test_finish_is_idempotent():
+    det = _forked(FastTrackDetector(granularity=1))
+    det.on_write(0, 0x100, 8)
+    det.on_read(1, 0x200, 8)
+    det.finish()
+    first = det.statistics()
+    for _ in range(3):
+        det.finish()
+        assert det.statistics() == first
+
+
+# ----------------------------------------------------------------------
+# batched dispatch: classification against the same-epoch bitmap
+# ----------------------------------------------------------------------
+
+def _feed(det, batched):
+    if batched:
+        det.on_write_batch(0, 0x100, 32, 4, site=1)
+        det.on_write_batch(0, 0x100, 32, 4, site=1)   # fully covered
+        det.on_read_batch(1, 0x100, 32, 4, site=2)
+        det.on_read_batch(1, 0x0F8, 32, 4, site=2)    # partially covered
+    else:
+        for _ in range(2):
+            for a in range(0x100, 0x120, 4):
+                det.on_write(0, a, 4, site=1)
+        for a in range(0x100, 0x120, 4):
+            det.on_read(1, a, 4, site=2)
+        for a in range(0x0F8, 0x118, 4):
+            det.on_read(1, a, 4, site=2)
+    det.finish()
+    return [(r.addr, r.kind, r.tid, r.site) for r in det.races], det.statistics()
+
+
+@pytest.mark.parametrize("granularity", (1, 4))
+def test_batch_overrides_keep_statistics_identical(granularity):
+    races_plain, stats_plain = _feed(
+        _forked(FastTrackDetector(granularity=granularity)), batched=False
+    )
+    races_batch, stats_batch = _feed(
+        _forked(FastTrackDetector(granularity=granularity)), batched=True
+    )
+    assert races_plain == races_batch
+    assert stats_plain == stats_batch
+
+
+def test_batch_misaligned_run_uses_base_behaviour():
+    # width 2 on the word detector: units overlap between members, so
+    # the override must fall through to one ranged call.
+    det = _forked(FastTrackDetector(granularity=4))
+    det.on_write_batch(0, 0x102, 8, 2)
+    assert det.total_accesses == 1

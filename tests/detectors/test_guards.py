@@ -146,3 +146,31 @@ def test_invalid_parameters_rejected():
 def test_getattr_delegates_to_inner():
     det = GuardedDetector(create_detector("dynamic"))
     assert det.group_stats is det.inner.group_stats
+
+
+class _CrashOnBatch(Detector):
+    name = "crash-on-batch"
+
+    def on_write_batch(self, tid, addr, size, width, site=0):
+        raise RuntimeError("batch path exploded")
+
+
+def test_crash_in_batch_callback_is_captured():
+    # Batch callbacks go through _dispatch explicitly — a plain
+    # __getattr__ passthrough would let the exception escape replay.
+    det = GuardedDetector(_CrashOnBatch())
+    det.on_write_batch(0, 0x100, 16, 4, site=1)
+    assert det.crashed
+    assert det.crash.op == "on_write_batch"
+    assert det.crash.exc_type == "RuntimeError"
+
+
+def test_batch_callbacks_forward_to_inner():
+    inner = create_detector("fasttrack-byte")
+    det = GuardedDetector(inner)
+    det.on_fork(0, 1)
+    det.on_write_batch(0, 0x100, 16, 4, site=1)
+    det.on_read_batch(1, 0x100, 16, 4, site=2)
+    assert not det.crashed
+    assert inner.total_accesses == 8
+    assert det.races  # write-read race surfaced through the wrapper

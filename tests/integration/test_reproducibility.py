@@ -26,10 +26,10 @@ GOLDEN = {
     "ferret": dict(shared=3696, races_byte=4, races_word=1, races_dyn=4, vec_byte=5324, vec_dyn=75, mem_byte=92560, mem_dyn=47488),
     "fluidanimate": dict(shared=4815, races_byte=4, races_word=1, races_dyn=4, vec_byte=4608, vec_dyn=164, mem_byte=85936, mem_dyn=34552),
     "raytrace": dict(shared=984, races_byte=4, races_word=1, races_dyn=4, vec_byte=8092, vec_dyn=79, mem_byte=141360, mem_dyn=40416),
-    "x264": dict(shared=7016, races_byte=212, races_word=55, races_dyn=212, vec_byte=12744, vec_dyn=277, mem_byte=202480, mem_dyn=56352),
+    "x264": dict(shared=7016, races_byte=212, races_word=55, races_dyn=212, vec_byte=12744, vec_dyn=415, mem_byte=202480, mem_dyn=63760),
     "canneal": dict(shared=3916, races_byte=16, races_word=4, races_dyn=16, vec_byte=4104, vec_dyn=268, mem_byte=78736, mem_dyn=36376),
     "dedup": dict(shared=22096, races_byte=0, races_word=0, races_dyn=0, vec_byte=16048, vec_dyn=10, mem_byte=259648, mem_dyn=80320),
-    "streamcluster": dict(shared=9426, races_byte=68, races_word=17, races_dyn=68, vec_byte=2688, vec_dyn=131, mem_byte=87792, mem_dyn=34428),
+    "streamcluster": dict(shared=9426, races_byte=68, races_word=17, races_dyn=68, vec_byte=2688, vec_dyn=188, mem_byte=87792, mem_dyn=37652),
     "ffmpeg": dict(shared=6160, races_byte=4, races_word=1, races_dyn=4, vec_byte=6144, vec_dyn=10, mem_byte=102784, mem_dyn=33024),
     "pbzip2": dict(shared=19992, races_byte=0, races_word=0, races_dyn=0, vec_byte=36992, vec_dyn=25, mem_byte=536848, mem_dyn=107416),
     "hmmsearch": dict(shared=6221, races_byte=4, races_word=1, races_dyn=4, vec_byte=9740, vec_dyn=18, mem_byte=162128, mem_dyn=41712),

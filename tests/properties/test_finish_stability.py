@@ -1,0 +1,43 @@
+"""Property: finish() and statistics() are observation, not mutation.
+
+Replaying any random program and then calling ``finish()`` /
+``statistics()`` any number of times must return the same snapshot
+every time — in particular the modeled memory accounting (Table 2's
+bitmap footprint) must not inflate with repeated calls.  Regression
+cover for the one-shot ``finish()`` guards.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.registry import create_detector
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.vm import replay
+from repro.workloads.random_program import random_program
+
+DETECTORS = ("fasttrack-byte", "fasttrack-word", "dynamic")
+
+program_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10_000),
+        "n_threads": st.integers(2, 4),
+        "n_vars": st.integers(2, 6),
+        "ops_per_thread": st.integers(5, 30),
+    }
+)
+
+
+@given(program_params, st.integers(0, 10_000), st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_repeated_finish_and_statistics_are_stable(params, sched_seed, batched):
+    program = random_program(racy_vars=(0,), **params)
+    trace = Scheduler(seed=sched_seed).run(program)
+    for name in DETECTORS:
+        det = create_detector(name)
+        result = replay(trace, det, batched=batched)
+        first = det.statistics()
+        races = list(result.races)
+        for _ in range(3):
+            det.finish()
+            assert det.statistics() == first, name
+            assert list(det.races) == races, name

@@ -98,3 +98,35 @@ def test_bare_replay_dispatch_arity_matches_replay(monkeypatch):
 
     vm.replay(trace, Recorder())
     assert [len(a) for a in bare_calls] == [len(a) for a in replay_calls]
+
+
+def _sweep_program():
+    def body():
+        for i in range(16):
+            yield ops.write(0x1000 + 4 * i, 4, site=1)
+        for i in range(16):
+            yield ops.read(0x1000 + 4 * i, 4, site=2)
+
+    return Program.from_threads([body], name="sweep")
+
+
+def test_batched_replay_dispatches_fewer_callbacks():
+    trace = Scheduler(seed=0).run(_sweep_program())
+    plain = replay(trace, create_detector("fasttrack-byte"))
+    batched = replay(trace, create_detector("fasttrack-byte"), batched=True)
+    assert plain.dispatched == len(trace)
+    assert batched.dispatched < plain.dispatched
+    assert batched.events == plain.events  # original event count kept
+    assert [r.addr for r in batched.races] == [r.addr for r in plain.races]
+
+
+def test_coalesced_feed_is_cached_per_span():
+    trace = Scheduler(seed=0).run(_sweep_program())
+    assert trace.coalesced() is trace.coalesced()
+    assert trace.coalesced(8) is not trace.coalesced()
+    assert len(trace.coalesced(8)) > len(trace.coalesced())
+
+
+def test_bare_replay_consumes_batched_feed():
+    trace = Scheduler(seed=0).run(_sweep_program())
+    assert bare_replay(trace, batched=True) > 0

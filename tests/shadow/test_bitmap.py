@@ -67,3 +67,24 @@ def test_test_without_set():
     bm.test_and_set(0x42, 1)
     assert bm.test(0x42, 1)
     assert not bm.test(0x42, 2)
+
+
+def test_any_set_empty_range():
+    bm = EpochBitmap()
+    assert not bm.any_set(0x1000, 64)
+
+
+def test_any_set_distinguishes_partial_from_full():
+    bm = EpochBitmap()
+    bm.test_and_set(0x1004, 4)
+    assert bm.any_set(0x1000, 16)       # one covered byte is enough
+    assert not bm.test(0x1000, 16)      # ...but the range is not full
+    assert not bm.any_set(0x1000, 4)    # before the covered bytes
+    assert not bm.any_set(0x1008, 8)    # after the covered bytes
+
+
+def test_any_set_crosses_pages():
+    bm = EpochBitmap()
+    bm.test_and_set(PAGE_SIZE, 1)  # first byte of the second page
+    assert bm.any_set(PAGE_SIZE - 8, 16)
+    assert not bm.any_set(PAGE_SIZE - 8, 8)

@@ -163,6 +163,58 @@ def test_get_run_on_missing_entry_is_all_none():
     assert run == [None] * 8
 
 
+def test_get_run_single_aligned_byte_on_word_entry():
+    # Regression: a one-byte run at a word-aligned address used to
+    # return None on a word-indexed entry, forcing callers onto the
+    # slow path; the slot is directly servable.
+    t = ShadowTable(m=128)
+    t.set(0x100, "a")
+    assert t.get_run(0x100, 0x101) == ["a"]
+    assert t.get_run(0x104, 0x105) == [None]
+    assert t.get_run(0x101, 0x102) is None  # unaligned byte: no slot
+
+
+def test_items_in_range_on_word_entries():
+    t = ShadowTable(m=128)
+    t.set(0x100, "a")
+    t.set(0x108, "b")
+    assert list(t.items_in_range(0x100, 0x10)) == [(0x100, "a"), (0x108, "b")]
+    assert list(t.items_in_range(0x101, 0x7)) == []
+    assert list(t.items_in_range(0x104, 0x10)) == [(0x108, "b")]
+
+
+def test_items_in_range_skips_empty_entries():
+    t = ShadowTable(m=64)
+    t.set(0x10, "a")
+    t.set(0x1000, "b")
+    assert list(t.items_in_range(0, 0x2000)) == [(0x10, "a"), (0x1000, "b")]
+    assert list(t.items_in_range(0x20, 0x800)) == []
+
+
+def test_successor_walks_across_empty_entries():
+    t = ShadowTable(m=64)
+    t.set(0x10, "a")
+    t.set(0x400, "b")
+    assert t.successor(0x10, limit=0x400) == (0x400, "b")
+    assert t.successor(0x10, limit=0x3EF) is None  # 0x400 just outside
+
+
+def test_predecessor_walks_across_empty_entries():
+    t = ShadowTable(m=64)
+    t.set(0x10, "a")
+    t.set(0x400, "b")
+    assert t.predecessor(0x400, limit=0x400) == (0x10, "a")
+    assert t.predecessor(0x400, limit=0x100) is None
+
+
+def test_neighbour_search_on_word_entries():
+    t = ShadowTable(m=128)
+    t.set(0x100, "a")
+    t.set(0x108, "b")
+    assert t.successor(0x100, limit=16) == (0x108, "b")
+    assert t.predecessor(0x108, limit=16) == (0x100, "a")
+
+
 def test_set_range_single_aligned_byte_keeps_small_entry():
     t = ShadowTable(m=128)
     t.set_range(0x100, 0x101, "x")  # one word-aligned byte
