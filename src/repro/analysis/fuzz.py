@@ -22,7 +22,12 @@ basic loop:
   crashing reproducer, and the campaign continues;
 * **checkpoint/resume** — the aggregate result (including which seeds
   completed) round-trips through JSON, so an interrupted campaign
-  restarts where it stopped (``repro-race fuzz --resume``).
+  restarts where it stopped (``repro-race fuzz --resume``);
+* **crash-consistency exercise** — ``detector_checkpoints=N`` replays
+  every clean trial a second time through a checkpointed
+  :class:`~repro.recovery.session.DetectionSession` with injected
+  ``kill-detector-at-event`` faults and supervised resume, counting any
+  race-report divergence (``repro-race fuzz --detector-checkpoints``).
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import tempfile
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -37,7 +43,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.detectors.guards import GuardedDetector
 from repro.detectors.registry import create_detector
-from repro.runtime.faults import DEFAULT_KINDS, FaultPlan
+from repro.runtime.faults import DEFAULT_KINDS, KILL_DETECTOR, FaultPlan
 from repro.runtime.memory import HeapError
 from repro.runtime.program import Program
 from repro.runtime.scheduler import Scheduler, SchedulerError
@@ -96,6 +102,14 @@ class FuzzResult:
     faulted_runs: int = 0
     #: extra scheduler attempts spent retrying fault-broken runs
     retried_runs: int = 0
+    #: trials whose killed-and-resumed detection session finished with
+    #: race reports byte-identical to the straight run
+    recovered_runs: int = 0
+    #: trials where the resumed session's reports diverged (an invariant
+    #: violation — CI fails on any nonzero value)
+    recovery_divergences: int = 0
+    #: injected kill-detector-at-event faults that actually fired
+    detector_kills: int = 0
     #: quarantine entry ids produced by this campaign
     quarantined: List[str] = field(default_factory=list)
     #: seeds whose trial ran to an outcome (drives ``--resume``)
@@ -137,6 +151,9 @@ class FuzzResult:
                 "timeout_runs": self.timeout_runs,
                 "faulted_runs": self.faulted_runs,
                 "retried_runs": self.retried_runs,
+                "recovered_runs": self.recovered_runs,
+                "recovery_divergences": self.recovery_divergences,
+                "detector_kills": self.detector_kills,
                 "quarantined": list(self.quarantined),
                 "completed_seeds": list(self.completed_seeds),
                 "address_hits": {
@@ -163,6 +180,9 @@ class FuzzResult:
             timeout_runs=data.get("timeout_runs", 0),
             faulted_runs=data.get("faulted_runs", 0),
             retried_runs=data.get("retried_runs", 0),
+            recovered_runs=data.get("recovered_runs", 0),
+            recovery_divergences=data.get("recovery_divergences", 0),
+            detector_kills=data.get("detector_kills", 0),
             quarantined=list(data.get("quarantined", [])),
             completed_seeds=list(data.get("completed_seeds", [])),
             address_hits={
@@ -215,6 +235,8 @@ def fuzz_schedules(
     shrink_max_evals: int = 300,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    detector_checkpoints: Optional[int] = None,
+    recovery_dir: Optional[str] = None,
 ) -> FuzzResult:
     """Run ``trials`` different interleavings of the program and
     aggregate which races manifested under which schedules.
@@ -238,6 +260,16 @@ def fuzz_schedules(
     fault-free.  ``checkpoint`` names a JSON file updated after every
     trial; with ``resume=True`` an existing checkpoint's completed
     seeds are skipped instead of rerun.
+
+    ``detector_checkpoints`` (an event interval) additionally exercises
+    the crash/resume path on every non-crashing trial: the same trace
+    is replayed a second time through a supervised
+    :class:`~repro.recovery.session.DetectionSession` with seeded
+    ``kill-detector-at-event`` faults, and its resumed race reports are
+    compared against the straight run.  Any mismatch is counted in
+    ``recovery_divergences`` — an invariant violation, never expected.
+    Checkpoints land in a temp dir unless ``recovery_dir`` is given
+    (then ``recovery_dir/seed-N``, kept for postmortem).
     """
     seed_list = list(seeds) if seeds is not None else list(range(trials))
     suppress = default_suppression if suppress_libraries else None
@@ -261,6 +293,56 @@ def fuzz_schedules(
         from repro.analysis.quarantine import QuarantineStore
 
         store = QuarantineStore(quarantine_dir)
+
+    def exercise_recovery(trace, seed, straight_races) -> None:
+        """Replay the trial again through a supervised killed-and-resumed
+        session; a report mismatch versus the straight run falsifies the
+        crash-consistency invariant and is counted as a divergence."""
+        from repro.recovery.session import (
+            DetectionSession,
+            Supervisor,
+            SupervisorError,
+        )
+
+        kills = FaultPlan.generate(
+            seed ^ _RETRY_SALT,
+            max_faults=2,
+            kinds=(KILL_DETECTOR,),
+            horizon=max(len(trace), 2),
+            always=True,
+        )
+        if recovery_dir is not None:
+            ckpt_dir = os.path.join(recovery_dir, f"seed-{seed}")
+            cleanup = None
+        else:
+            cleanup = tempfile.TemporaryDirectory(prefix="repro-recovery-")
+            ckpt_dir = cleanup.name
+        try:
+            session = DetectionSession(
+                trace,
+                base_factory,
+                checkpoint_dir=ckpt_dir,
+                checkpoint_every=detector_checkpoints,
+                shadow_budget=shadow_budget,
+                kills=kills,
+            )
+            # No watchdog: the trial's _time_limit already owns SIGALRM.
+            supervisor = Supervisor(session, sleep=lambda _s: None)
+            try:
+                resumed = supervisor.run()
+            except SupervisorError:
+                result.recovery_divergences += 1
+                return
+            result.detector_kills += session.recovery["kills_fired"]
+            want = [r.as_list() for r in straight_races]
+            got = [r.as_list() for r in resumed.races]
+            if got == want:
+                result.recovered_runs += 1
+            else:
+                result.recovery_divergences += 1
+        finally:
+            if cleanup is not None:
+                cleanup.cleanup()
 
     def detect(trace, seed) -> bool:
         """Replay under a guarded detector; quarantine on crash.
@@ -296,6 +378,8 @@ def fuzz_schedules(
             result.site_pair_hits[pair] = (
                 result.site_pair_hits.get(pair, 0) + 1
             )
+        if detector_checkpoints and guarded.crash is None:
+            exercise_recovery(trace, seed, guarded.races)
         return bool(guarded.races)
 
     def schedule(seed: int) -> Tuple[object, bool, bool]:
@@ -396,6 +480,12 @@ def format_fuzz_result(result: FuzzResult, limit: int = 8) -> str:
         extras.append(f"{result.faulted_runs} ran with injected faults")
     if result.retried_runs:
         extras.append(f"{result.retried_runs} fault retries")
+    if result.recovered_runs or result.recovery_divergences:
+        extras.append(
+            f"{result.recovered_runs} killed-and-resumed sessions identical"
+            f" ({result.detector_kills} detector kills, "
+            f"{result.recovery_divergences} divergences)"
+        )
     if extras:
         lines.append("supervision: " + ", ".join(extras))
     if result.quarantined:

@@ -17,6 +17,11 @@ Layout of a quarantine directory::
       <entry-id>-min.npz   the shrunk reproducer (after shrinking)
 
 ``repro-race quarantine list|shrink`` is the CLI surface.
+
+Every write in an entry is atomic: metadata goes through a temp file +
+``os.replace`` here, and the ``.npz`` traces through the same dance
+inside :meth:`~repro.runtime.trace.Trace.save` — a campaign killed
+mid-quarantine never leaves a truncated entry behind.
 """
 
 from __future__ import annotations

@@ -4,10 +4,13 @@
 
     repro-race list
     repro-race run --workload pbzip2 --detector dynamic [--scale 1.0]
+    repro-race run -w pbzip2 -d dynamic --checkpoint-every 5000
+    repro-race run -w pbzip2 -d dynamic --resume-from latest
     repro-race table 1 [--scale 0.5] [--workloads ferret,pbzip2]
     repro-race fuzz --workload ffmpeg --trials 50
     repro-race fuzz -w ffmpeg --faults --max-events 3000 --trial-timeout 10 \
         --quarantine-dir .repro-race/quarantine --checkpoint fuzz.json --resume
+    repro-race fuzz -w ffmpeg --trials 20 --detector-checkpoints 1000
     repro-race quarantine list
     repro-race quarantine shrink ffmpeg-seed3
     repro-race stats --workload pbzip2
@@ -92,6 +95,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap live shadow clock groups; the detector degrades "
         "precision instead of growing past the cap",
     )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        help="run as a crash-consistent session, checkpointing detector "
+        "state every N events (see docs/ALGORITHM.md §10)",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint directory (default: "
+        ".repro-race/checkpoints/<workload>-<detector>)",
+    )
+    run.add_argument(
+        "--resume-from",
+        help="resume from a checkpoint: a path, or 'latest' for the "
+        "newest good one in the checkpoint directory",
+    )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", choices=sorted(TABLES))
@@ -160,6 +179,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip seeds the checkpoint already completed",
+    )
+    fuzz.add_argument(
+        "--detector-checkpoints",
+        type=int,
+        help="exercise crash/resume per trial: replay each clean trial "
+        "through a checkpointed session (every N events) with injected "
+        "detector kills and supervised resume; exits 1 on any "
+        "race-report divergence",
+    )
+    fuzz.add_argument(
+        "--recovery-dir",
+        help="keep per-seed session checkpoints here instead of a "
+        "temp dir (postmortem)",
     )
 
     quar = sub.add_parser(
@@ -310,6 +342,8 @@ def _cmd_run(args) -> int:
         f"workload {workload.name}: {len(trace)} events, "
         f"{trace.n_threads} threads, {trace.shared_accesses} shared accesses"
     )
+    if args.checkpoint_every is not None or args.resume_from is not None:
+        return _run_session(args, workload, trace)
     m = measure(
         trace,
         args.detector,
@@ -335,6 +369,50 @@ def _cmd_run(args) -> int:
             f"{guard['forced_merges']} forced merge(s), "
             f"{guard['evicted_groups']} eviction(s)"
         )
+    print(format_races(result.races, limit=args.max_races))
+    summary = summarize_races(result.races)
+    print(f"summary: {summary}")
+    return 0
+
+
+def _run_session(args, workload, trace) -> int:
+    """A crash-consistent ``run``: checkpointed replay, optional resume.
+
+    A single attempt (no supervisor): an interrupted invocation is
+    simply rerun with ``--resume-from latest``, which is the manual
+    workflow the checkpoints exist for.
+    """
+    import os
+
+    from repro.recovery import CheckpointError, DetectionSession
+
+    suppress = None if args.no_suppress else default_suppression
+    ckpt_dir = args.checkpoint_dir or os.path.join(
+        ".repro-race", "checkpoints", f"{workload.name}-{args.detector}"
+    )
+    session = DetectionSession(
+        trace,
+        args.detector,
+        checkpoint_dir=ckpt_dir,
+        checkpoint_every=args.checkpoint_every or 5000,
+        suppress=suppress,
+        shadow_budget=args.shadow_budget,
+    )
+    try:
+        result = session.run(resume=args.resume_from)
+    except CheckpointError as err:
+        print(f"cannot resume: {err}")
+        return 1
+    rec = result.stats["recovery"]
+    resumed = (
+        f"resumed from event {rec['last_resume_event']}"
+        if rec["resumes"]
+        else "started fresh"
+    )
+    print(
+        f"session: {resumed}, {rec['checkpoints_written']} checkpoint(s) "
+        f"written to {ckpt_dir}"
+    )
     print(format_races(result.races, limit=args.max_races))
     summary = summarize_races(result.races)
     print(f"summary: {summary}")
@@ -397,8 +475,16 @@ def _cmd_fuzz(args) -> int:
         quarantine_dir=args.quarantine_dir,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        detector_checkpoints=args.detector_checkpoints,
+        recovery_dir=args.recovery_dir,
     )
     print(format_fuzz_result(result))
+    if result.recovery_divergences:
+        print(
+            f"FAIL: {result.recovery_divergences} killed-and-resumed "
+            "session(s) diverged from the straight run"
+        )
+        return 1
     return 0
 
 

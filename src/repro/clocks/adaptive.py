@@ -40,6 +40,30 @@ class ReadClock:
         return ReadClock(self.epoch, self.vc.copy() if self.vc is not None else None)
 
     # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list:
+        """JSON-able state: ``[clock, tid, shared-list-or-None]``.
+
+        The shared-mode list is the raw clock list (trailing zeros
+        preserved) so a restored clock is representation-identical, not
+        merely semantically equal — vector-clock byte accounting depends
+        on the stored length.
+        """
+        return [
+            self.epoch[0],
+            self.epoch[1],
+            self.vc.as_list() if self.vc is not None else None,
+        ]
+
+    @classmethod
+    def from_snapshot(cls, state: list) -> "ReadClock":
+        """Rebuild a read clock from :meth:`snapshot` output."""
+        clock, tid, shared = state
+        vc = VectorClock.from_list(shared) if shared is not None else None
+        return cls(Epoch(clock, tid), vc)
+
+    # ------------------------------------------------------------------
     # happens-before queries
     # ------------------------------------------------------------------
     def same_epoch(self, clock: int, tid: int) -> bool:

@@ -46,6 +46,17 @@ class VectorClock:
         vc._c = self._c[:]
         return vc
 
+    @classmethod
+    def from_list(cls, clocks: Iterable[int]) -> "VectorClock":
+        """Rebuild a clock from :meth:`as_list` output.
+
+        The stored length is preserved exactly (trailing zeros
+        included): restored clocks must be byte-identical to the
+        originals, and the stored length feeds the memory model's
+        per-clock byte accounting.
+        """
+        return cls(clocks)
+
     # ------------------------------------------------------------------
     # element access
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ Table 1).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, List, Optional
 
 from repro.core.config import DynamicConfig
@@ -710,6 +711,65 @@ class DynamicGranularityDetector(VectorClockRuntime):
         )
         for cur in self.memory.current:
             assert cur >= 0, "memory accounting went negative"
+
+    # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "kind": "fasttrack-dynamic",
+            "config": dataclasses.asdict(self.config),
+            "base": self._snapshot_base(),
+            "runtime": self._snapshot_runtime(),
+            "group_stats": self.group_stats.state(),
+            "wg": self._wg.snapshot(),
+            "rg": self._rg.snapshot(),
+            "read_seen": [
+                [tid, bm.snapshot()] for tid, bm in sorted(self._read_seen.items())
+            ],
+            "write_seen": [
+                [tid, bm.snapshot()] for tid, bm in sorted(self._write_seen.items())
+            ],
+            "counters": [
+                self.total_accesses,
+                self.same_epoch_hits,
+                self.checked_accesses,
+            ],
+            "finished": self._finished,
+            "memory": self.memory.state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore in place: the group managers, shared stats object and
+        memory model are mutated rather than replaced, so references
+        held by wrappers (the budget guard) stay valid."""
+        if state.get("kind") != "fasttrack-dynamic":
+            raise ValueError(
+                f"cannot restore {state.get('kind')!r} state into {self.name}"
+            )
+        if state["config"] != dataclasses.asdict(self.config):
+            raise ValueError(
+                "checkpoint was taken under a different DynamicConfig: "
+                f"{state['config']} != {dataclasses.asdict(self.config)}"
+            )
+        self._restore_base(state["base"])
+        self._restore_runtime(state["runtime"])
+        self.group_stats.restore_state(state["group_stats"])
+        self._wg.restore(state["wg"])
+        self._rg.restore(state["rg"])
+        self._read_seen = {
+            tid: EpochBitmap.from_snapshot(s) for tid, s in state["read_seen"]
+        }
+        self._write_seen = {
+            tid: EpochBitmap.from_snapshot(s) for tid, s in state["write_seen"]
+        }
+        (
+            self.total_accesses,
+            self.same_epoch_hits,
+            self.checked_accesses,
+        ) = state["counters"]
+        self._finished = state["finished"]
+        self.memory.restore_state(state["memory"])
 
     # ------------------------------------------------------------------
     def statistics(self) -> Dict[str, object]:

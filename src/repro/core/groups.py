@@ -89,6 +89,33 @@ class GroupStats:
                 self.live_bytes / self.live_clocks if self.live_clocks else 0.0
             )
 
+    # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def state(self) -> list:
+        """Positional counter state (floats round-trip exactly through
+        JSON's shortest-repr encoding)."""
+        return [
+            self.live_clocks,
+            self.max_clocks,
+            self.live_bytes,
+            self.groups_created,
+            self.avg_sharing_at_peak,
+            self.merges,
+            self.splits,
+        ]
+
+    def restore_state(self, state: list) -> None:
+        (
+            self.live_clocks,
+            self.max_clocks,
+            self.live_bytes,
+            self.groups_created,
+            self.avg_sharing_at_peak,
+            self.merges,
+            self.splits,
+        ) = state
+
 
 class GroupManager:
     """Structure + accounting for one kind of clock group."""
@@ -314,6 +341,73 @@ class GroupManager:
         for _addr, g in self.table.items():
             seen[id(g)] = g
         return sorted(seen.values(), key=lambda g: (g.lo, g.hi))
+
+    # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able state: the group records plus the member index.
+
+        Group ids are assigned in first-member (lowest address) order —
+        :meth:`ShadowTable.snapshot` visits records in strictly
+        increasing address order, so the encoding is deterministic for
+        identical logical state regardless of creation history.
+        """
+        order: List[Group] = []
+        ids: dict = {}
+
+        def encode(g: Group) -> int:
+            gid = ids.get(id(g))
+            if gid is None:
+                gid = ids[id(g)] = len(order)
+                order.append(g)
+            return gid
+
+        table = self.table.snapshot(encode)
+        groups = [
+            [
+                g.lo,
+                g.hi,
+                g.count,
+                g.state,
+                g.born_c,
+                g.born_t,
+                g.wc,
+                g.wt,
+                g.site,
+                g.charged,
+                g.r.snapshot() if g.r is not None else None,
+            ]
+            for g in order
+        ]
+        return {"kind": self.kind, "groups": groups, "table": table}
+
+    def restore(self, state: dict) -> None:
+        """Rebuild groups and index in place from :meth:`snapshot`.
+
+        Accounting does not fire: memory-model counters and the shared
+        :class:`GroupStats` are restored verbatim by the owning
+        detector, which is why ``charged`` is part of the group record.
+        """
+        if state["kind"] != self.kind:
+            raise ValueError(
+                f"snapshot kind {state['kind']!r} != manager kind {self.kind!r}"
+            )
+        groups: List[Group] = []
+        for lo, hi, count, gstate, born_c, born_t, wc, wt, site, charged, r in state[
+            "groups"
+        ]:
+            g = Group(lo, hi, gstate)
+            g.count = count
+            g.born_c = born_c
+            g.born_t = born_t
+            g.wc = wc
+            g.wt = wt
+            g.site = site
+            g.charged = charged
+            g.r = ReadClock.from_snapshot(r) if r is not None else None
+            groups.append(g)
+        self.table.restore(state["table"], lambda gid: groups[gid])
 
     # ------------------------------------------------------------------
     # scans

@@ -10,6 +10,8 @@ every lock release).
 
 from __future__ import annotations
 
+import base64
+import pickle
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -45,6 +47,23 @@ class RaceReport:
             f"(site {self.site}) vs thread {self.prev_tid} "
             f"(site {self.prev_site})"
         )
+
+    def as_list(self) -> list:
+        """Positional JSON-able form for checkpoints."""
+        return [
+            self.addr,
+            self.kind,
+            self.tid,
+            self.site,
+            self.prev_tid,
+            self.prev_site,
+            self.unit,
+        ]
+
+    @classmethod
+    def from_list(cls, data: list) -> "RaceReport":
+        """Rebuild a report from :meth:`as_list` output."""
+        return cls(*data)
 
 
 class Detector:
@@ -140,6 +159,71 @@ class Detector:
         """Detector-specific counters for the analysis tables."""
         return {}
 
+    # ---------------------------------------------------------------
+    # checkpoint serialization
+    # ---------------------------------------------------------------
+    def _snapshot_base(self) -> dict:
+        """Race list and dedup state shared by every detector."""
+        return {
+            "races": [r.as_list() for r in self.races],
+            "racy": sorted(self._racy),
+        }
+
+    def _restore_base(self, state: dict) -> None:
+        self.races = [RaceReport.from_list(r) for r in state["races"]]
+        self._racy = set(state["racy"])
+
+    def snapshot_state(self) -> dict:
+        """Full detector state as a JSON-able dict.
+
+        The base implementation is a generic pickle of the whole
+        detector (base64-wrapped so it embeds in the JSON checkpoint
+        payload) — correct for any detector whose state is plain Python
+        data.  The suppression callable is excluded (it may be a lambda
+        and is re-supplied by the restoring session).  FastTrack, the
+        dynamic detector and the budget guard override this with
+        structured, human-inspectable encodings.
+        """
+        suppress = self._suppress
+        self._suppress = None
+        try:
+            blob = pickle.dumps(self)
+        finally:
+            self._suppress = suppress
+        return {
+            "kind": "opaque",
+            "type": type(self).__name__,
+            "blob": base64.b64encode(blob).decode("ascii"),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`snapshot_state` in place.
+
+        The generic path unpickles a twin and adopts its ``__dict__``,
+        keeping this instance's suppression callable and re-binding any
+        shadow-table resize callbacks that the twin's tables captured as
+        bound methods of the twin.
+        """
+        if state.get("kind") != "opaque":
+            raise ValueError(
+                f"{type(self).__name__} cannot restore "
+                f"{state.get('kind')!r} state"
+            )
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"checkpoint state is for {state.get('type')!r}, "
+                f"not {type(self).__name__!r}"
+            )
+        twin = pickle.loads(base64.b64decode(state["blob"]))
+        suppress = self._suppress
+        self.__dict__.clear()
+        self.__dict__.update(twin.__dict__)
+        self._suppress = suppress
+        for value in self.__dict__.values():
+            cb = getattr(value, "_on_resize", None)
+            if cb is not None and getattr(cb, "__self__", None) is twin:
+                value._on_resize = getattr(self, cb.__func__.__name__)
+
 
 class VectorClockRuntime(Detector):
     """Thread/lock vector-clock maintenance shared by HB detectors.
@@ -214,6 +298,36 @@ class VectorClockRuntime(Detector):
         self.new_epoch(tid)
         # note: the joiner's own clock need not advance; joining only
         # imports the target's history.
+
+    # ---------------------------------------------------------------
+    # checkpoint serialization
+    # ---------------------------------------------------------------
+    def _snapshot_runtime(self) -> dict:
+        """Thread/lock clock tables in deterministic (sorted) order."""
+        return {
+            "thread_vc": [
+                [tid, vc.as_list()] for tid, vc in sorted(self.thread_vc.items())
+            ],
+            "lock_vc": [
+                [sid, vc.as_list()] for sid, vc in sorted(self.lock_vc.items())
+            ],
+            "held": [
+                [tid, sorted(locks)] for tid, locks in sorted(self.held.items())
+            ],
+            "max_tid": self.max_tid,
+            "epoch_count": self.epoch_count,
+        }
+
+    def _restore_runtime(self, state: dict) -> None:
+        self.thread_vc = {
+            tid: VectorClock.from_list(c) for tid, c in state["thread_vc"]
+        }
+        self.lock_vc = {
+            sid: VectorClock.from_list(c) for sid, c in state["lock_vc"]
+        }
+        self.held = {tid: set(locks) for tid, locks in state["held"]}
+        self.max_tid = state["max_tid"]
+        self.epoch_count = state["epoch_count"]
 
     # ---------------------------------------------------------------
     @property

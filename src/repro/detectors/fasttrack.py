@@ -320,6 +320,78 @@ class FastTrackDetector(VectorClockRuntime):
         self.memory.add(BITMAP, pages * sz.bitmap_page)
 
     # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_shadow(rec: _Shadow) -> list:
+        return [rec.wc, rec.wt, rec.w_site, rec.r.snapshot(), rec.r_site]
+
+    @staticmethod
+    def _decode_shadow(data: list) -> _Shadow:
+        rec = _Shadow()
+        rec.wc, rec.wt, rec.w_site = data[0], data[1], data[2]
+        rec.r = ReadClock.from_snapshot(data[3])
+        rec.r_site = data[4]
+        return rec
+
+    def snapshot_state(self) -> dict:
+        return {
+            "kind": "fasttrack-fixed",
+            "granularity": self.granularity,
+            "base": self._snapshot_base(),
+            "runtime": self._snapshot_runtime(),
+            "table": self._table.snapshot(self._encode_shadow),
+            "read_seen": [
+                [tid, bm.snapshot()] for tid, bm in sorted(self._read_seen.items())
+            ],
+            "write_seen": [
+                [tid, bm.snapshot()] for tid, bm in sorted(self._write_seen.items())
+            ],
+            "counters": [
+                self.same_epoch_hits,
+                self.unit_fast_hits,
+                self.checked_accesses,
+                self.total_accesses,
+                self.vc_allocs,
+                self.max_vectors,
+                self.live_vectors,
+            ],
+            "finished": self._finished,
+            "memory": self.memory.state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "fasttrack-fixed":
+            raise ValueError(
+                f"cannot restore {state.get('kind')!r} state into {self.name}"
+            )
+        if state["granularity"] != self.granularity:
+            raise ValueError(
+                f"checkpoint granularity {state['granularity']} != "
+                f"detector granularity {self.granularity}"
+            )
+        self._restore_base(state["base"])
+        self._restore_runtime(state["runtime"])
+        self._table.restore(state["table"], self._decode_shadow)
+        self._read_seen = {
+            tid: EpochBitmap.from_snapshot(s) for tid, s in state["read_seen"]
+        }
+        self._write_seen = {
+            tid: EpochBitmap.from_snapshot(s) for tid, s in state["write_seen"]
+        }
+        (
+            self.same_epoch_hits,
+            self.unit_fast_hits,
+            self.checked_accesses,
+            self.total_accesses,
+            self.vc_allocs,
+            self.max_vectors,
+            self.live_vectors,
+        ) = state["counters"]
+        self._finished = state["finished"]
+        self.memory.restore_state(state["memory"])
+
+    # ------------------------------------------------------------------
     def statistics(self) -> Dict[str, object]:
         return {
             "locations": len(self._table),

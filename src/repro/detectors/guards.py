@@ -58,6 +58,17 @@ class DetectorCrash:
             "traceback": self.traceback,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DetectorCrash":
+        return cls(
+            detector=str(data["detector"]),
+            op=str(data["op"]),
+            event_index=int(data["event_index"]),  # type: ignore[arg-type]
+            exc_type=str(data["exc_type"]),
+            message=str(data["message"]),
+            traceback=str(data.get("traceback", "")),
+        )
+
     def __str__(self) -> str:
         return (
             f"{self.detector} crashed in {self.op} at event "
@@ -322,11 +333,73 @@ class GuardedDetector:
             return max(g.r.vc.as_list(), default=0)
         return g.r.epoch[0]
 
+    # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        gs = self.guard_stats
+        return {
+            "kind": "guarded",
+            "inner": self.inner.snapshot_state(),
+            "events": self._events,
+            "guard": {
+                "degradations": gs.degradations,
+                "dropped_race_groups": gs.dropped_race_groups,
+                "forced_merges": gs.forced_merges,
+                "evicted_groups": gs.evicted_groups,
+                "evicted_bytes": gs.evicted_bytes,
+                "peak_live_clocks": gs.peak_live_clocks,
+                "crash": gs.crash.as_dict() if gs.crash is not None else None,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore guard + inner state.
+
+        A bare inner-detector state (from an unguarded session that was
+        later degraded into a guarded one) is also accepted: the inner
+        detector is restored and the guard counters start fresh.  Either
+        way the budget is enforced immediately afterwards, so a restore
+        that lands over budget degrades through the shedding ladder on
+        the spot instead of waiting for the next access.
+        """
+        if state.get("kind") == "guarded":
+            self.inner.restore_state(state["inner"])
+            self._events = state["events"]
+            g = state["guard"]
+            gs = self.guard_stats
+            gs.degradations = g["degradations"]
+            gs.dropped_race_groups = g["dropped_race_groups"]
+            gs.forced_merges = g["forced_merges"]
+            gs.evicted_groups = g["evicted_groups"]
+            gs.evicted_bytes = g["evicted_bytes"]
+            gs.peak_live_clocks = g["peak_live_clocks"]
+            gs.crash = (
+                DetectorCrash.from_dict(g["crash"])
+                if g["crash"] is not None
+                else None
+            )
+        else:
+            self.inner.restore_state(state)
+        if self._budgeted and self.guard_stats.crash is None:
+            self._enforce_budget()
+
     # Anything else (check_invariants, config, memory, ...) passes
     # through, so the wrapper can stand in for the inner detector in
-    # analysis code.
+    # analysis code.  Dunder lookups are explicitly refused: copy and
+    # pickle probe for optional protocol hooks (__deepcopy__,
+    # __getstate__, __reduce_ex__, ...) with getattr, and delegating
+    # those to the inner detector would make such probes silently
+    # operate on — or infinitely recurse into — the wrapped object.
     def __getattr__(self, attr: str):
-        return getattr(self.inner, attr)
+        if attr.startswith("__") and attr.endswith("__"):
+            raise AttributeError(attr)
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            # Mid-(un)pickle/copy the instance dict may be empty;
+            # recursing through self.inner would never terminate.
+            raise AttributeError(attr)
+        return getattr(inner, attr)
 
 
 def guard_detector(

@@ -193,3 +193,16 @@ def coalesce_events(
 def batch_stats(events: Sequence[tuple], batched: Sequence[tuple]) -> BatchStats:
     """Stats pair for a feed and its coalesced form."""
     return BatchStats(events_in=len(events), events_out=len(batched))
+
+
+def event_weight(ev: tuple) -> int:
+    """Original trace events a dispatch-feed item represents.
+
+    A coalesced 6-tuple covers ``size // width`` member accesses; every
+    plain event counts as one.  The resumable session uses this to keep
+    its event cursor in *original trace events* so ``--checkpoint-every``
+    means the same thing under batched and unbatched dispatch.
+    """
+    if len(ev) == 6 and ev[5] > 0:
+        return ev[3] // ev[5]
+    return 1

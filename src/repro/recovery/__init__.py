@@ -1,0 +1,51 @@
+"""Crash-consistent detection: checkpoint/restore + supervised sessions.
+
+The paper's detector targets long PARSEC-scale runs; the ROADMAP
+north-star is a production system that survives heavy traffic.  This
+package makes mid-replay death survivable: detector state is small and
+structured (SmartTrack's argument for explicitly managed metadata), so
+it is serialized wholesale into versioned, checksummed checkpoint files
+and restored exactly — an interrupted-then-resumed run reports
+byte-identical races and statistics to an uninterrupted one.
+
+* :mod:`repro.recovery.checkpoint` — the file format: magic + JSON
+  manifest (schema version, event cursor, trace digest, payload
+  checksum) + zlib-compressed deterministic JSON state, written
+  atomically, with typed :class:`CheckpointError` rejection of
+  corrupt/mismatched files.
+* :mod:`repro.recovery.session` — :class:`DetectionSession` replays a
+  trace with periodic checkpoints at dispatch-feed boundaries, and
+  :class:`Supervisor` adds a watchdog, bounded exponential-backoff
+  retry, fall-back through older checkpoints, and degradation into the
+  :class:`~repro.detectors.guards.GuardedDetector` shedding ladder.
+"""
+
+from repro.recovery.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointError,
+    read_checkpoint,
+    read_manifest,
+    write_checkpoint,
+)
+from repro.recovery.session import (
+    LATEST,
+    DetectionSession,
+    DetectorKilled,
+    Supervisor,
+    SupervisorError,
+    WatchdogTimeout,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointError",
+    "read_checkpoint",
+    "read_manifest",
+    "write_checkpoint",
+    "LATEST",
+    "DetectionSession",
+    "DetectorKilled",
+    "Supervisor",
+    "SupervisorError",
+    "WatchdogTimeout",
+]

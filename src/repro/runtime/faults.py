@@ -32,6 +32,14 @@ Fault taxonomy (see ALGORITHM.md §8):
 ``truncate``
     The trace ends on the spot, mid-quantum — the stream a crashed or
     SIGKILLed target leaves behind.
+``kill-detector-at-event``
+    A *detector-side* fault: the analysis process dies once the
+    detector has consumed ``at_event`` events.  The scheduler ignores
+    it (the target program is unaffected); the replay side —
+    :class:`repro.recovery.session.DetectionSession` — honours it by
+    raising :class:`~repro.recovery.session.DetectorKilled` at the
+    next dispatch boundary, which is how fuzz campaigns exercise the
+    checkpoint/restore path end to end.
 """
 
 from __future__ import annotations
@@ -44,12 +52,21 @@ KILL_THREAD = "kill-thread"
 FAIL_ACQUIRE = "fail-acquire"
 FAIL_MALLOC = "fail-malloc"
 TRUNCATE = "truncate"
+KILL_DETECTOR = "kill-detector-at-event"
 
 #: Every injectable fault kind.
-FAULT_KINDS = (KILL_THREAD, FAIL_ACQUIRE, FAIL_MALLOC, TRUNCATE)
+FAULT_KINDS = (KILL_THREAD, FAIL_ACQUIRE, FAIL_MALLOC, TRUNCATE, KILL_DETECTOR)
+
+#: Kinds the scheduler itself acts on while generating the trace.
+SCHEDULER_KINDS = (KILL_THREAD, FAIL_ACQUIRE, FAIL_MALLOC, TRUNCATE)
+
+#: Kinds honoured on the analysis side (replay/session), invisible to
+#: the scheduler: the target program runs unperturbed.
+DETECTOR_KINDS = (KILL_DETECTOR,)
 
 #: Default generation mix: truncation is excluded because it silently
 #: shortens every measurement the trace feeds; campaigns opt in.
+#: Detector-side kinds are likewise opt-in (``--detector-checkpoints``).
 DEFAULT_KINDS = (KILL_THREAD, FAIL_ACQUIRE, FAIL_MALLOC)
 
 
@@ -127,6 +144,15 @@ class FaultPlan:
         """Fresh per-run mutable state for the scheduler."""
         return FaultInjector(self)
 
+    def scheduler_specs(self) -> "FaultPlan":
+        """The sub-plan of faults the scheduler acts on."""
+        return FaultPlan([s for s in self.specs if s.kind in SCHEDULER_KINDS])
+
+    def detector_kill_events(self) -> List[int]:
+        """Sorted event indices at which ``kill-detector-at-event``
+        faults are planned (consumed by the detection session)."""
+        return [s.at_event for s in self.specs if s.kind == KILL_DETECTOR]
+
 
 @dataclass
 class InjectedFault:
@@ -174,9 +200,14 @@ class FaultInjector:
         self.records: List[InjectedFault] = []
 
     def due(self, n_events: int) -> Optional[FaultSpec]:
-        """Pop the next spec whose trigger point has been reached."""
-        if self._pending and self._pending[0].at_event <= n_events:
-            return self._pending.pop(0)
+        """Pop the next scheduler-side spec whose trigger point has been
+        reached.  Detector-side kinds (``kill-detector-at-event``) are
+        silently discarded here — the scheduler has no way to act on
+        them and arming one would corrupt its state."""
+        while self._pending and self._pending[0].at_event <= n_events:
+            spec = self._pending.pop(0)
+            if spec.kind in SCHEDULER_KINDS:
+                return spec
         return None
 
     def arm(self, kind: str) -> None:

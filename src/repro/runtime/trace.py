@@ -7,7 +7,10 @@ interleaving — the property that makes per-detector comparisons fair.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 import numpy as np
@@ -137,22 +140,64 @@ class Trace:
         return out
 
     # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Content hash over events and identifying metadata.
+
+        Checkpoints record this so a resume against a *different* trace
+        (same workload, different seed or scale) is refused instead of
+        silently producing garbage.  Cached — traces are immutable once
+        scheduled.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is not None:
+            return cached
+        h = hashlib.sha256()
+        h.update(f"{self.name}|{self.n_threads}|{len(self.events)}".encode())
+        for ev in self.events:
+            h.update(repr(ev).encode())
+        self._digest = h.hexdigest()
+        return self._digest
+
+    # ------------------------------------------------------------------
     # serialization (record/replay support)
     # ------------------------------------------------------------------
     def save(self, path: str) -> None:
-        """Serialize to a compressed ``.npz`` archive."""
+        """Serialize to a compressed ``.npz`` archive.
+
+        The write is atomic (temp file in the target directory, then
+        ``os.replace``): a process killed mid-write — the crash/resume
+        scenario the recovery subsystem injects on purpose — can never
+        leave a truncated archive at ``path``.  The temp file is passed
+        as an open file object because ``savez_compressed`` appends
+        ``.npz`` to bare string paths, which would break the rename.
+        """
         arr = np.asarray(self.events, dtype=np.int64).reshape(-1, 5)
-        np.savez_compressed(
-            path,
-            events=arr,
-            name=np.asarray(self.name),
-            n_threads=np.asarray(self.n_threads),
-            heap_keys=np.asarray(list(self.heap_stats.keys())),
-            heap_vals=np.asarray(list(self.heap_stats.values()), dtype=np.int64)
-            if self.heap_stats
-            else np.zeros(0, dtype=np.int64),
-            faults=np.asarray(json.dumps(self.faults)),
-        )
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    events=arr,
+                    name=np.asarray(self.name),
+                    n_threads=np.asarray(self.n_threads),
+                    heap_keys=np.asarray(list(self.heap_stats.keys())),
+                    heap_vals=np.asarray(
+                        list(self.heap_stats.values()), dtype=np.int64
+                    )
+                    if self.heap_stats
+                    else np.zeros(0, dtype=np.int64),
+                    faults=np.asarray(json.dumps(self.faults)),
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str) -> "Trace":

@@ -54,6 +54,39 @@ class ReplayResult:
         return self.wall_time / base_time
 
 
+def dispatch_event(detector, ev: tuple) -> None:
+    """Dispatch one feed item (plain 5-tuple or coalesced 6-tuple) to
+    ``detector`` — the same routing as :func:`replay`'s inlined loop.
+
+    The resumable session (:mod:`repro.recovery.session`) dispatches
+    item by item so it can checkpoint and inject detector kills at feed
+    boundaries; :func:`replay` keeps its bound-local loop for speed.
+    """
+    op = ev[0]
+    if op == READ:
+        if len(ev) == 6:
+            detector.on_read_batch(ev[1], ev[2], ev[3], ev[5], ev[4])
+        else:
+            detector.on_read(ev[1], ev[2], ev[3], ev[4])
+    elif op == WRITE:
+        if len(ev) == 6:
+            detector.on_write_batch(ev[1], ev[2], ev[3], ev[5], ev[4])
+        else:
+            detector.on_write(ev[1], ev[2], ev[3], ev[4])
+    elif op == ACQUIRE:
+        detector.on_acquire(ev[1], ev[2], ev[3])
+    elif op == RELEASE:
+        detector.on_release(ev[1], ev[2], ev[3])
+    elif op == FORK:
+        detector.on_fork(ev[1], ev[2])
+    elif op == JOIN:
+        detector.on_join(ev[1], ev[2])
+    elif op == ALLOC:
+        detector.on_alloc(ev[1], ev[2], ev[3])
+    elif op == FREE:
+        detector.on_free(ev[1], ev[2], ev[3])
+
+
 def replay(
     trace: Trace,
     detector,

@@ -77,6 +77,26 @@ class MemoryModel:
             "total_peak": self.total_peak,
         }
 
+    # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Raw counter state for checkpoints (cf. :meth:`snapshot`,
+        which is the human-facing named view)."""
+        return {
+            "current": list(self.current),
+            "peak": list(self.peak),
+            "total_peak": self.total_peak,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore counters verbatim.  Restores happen *instead of*
+        replaying allocation history (shadow structures are rebuilt
+        without firing ``on_resize``), so peaks stay exact."""
+        self.current[:] = state["current"]
+        self.peak[:] = state["peak"]
+        self.total_peak = state["total_peak"]
+
     @property
     def hash_peak(self) -> int:
         return self.peak[HASH]

@@ -121,6 +121,29 @@ class EpochBitmap:
         """Start a new epoch: drop every bit."""
         self._pages.clear()
 
+    # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able state: sorted ``[page, bits]`` pairs plus the peak.
+
+        Page bit-words are arbitrary-precision ints, which JSON carries
+        exactly; sorting makes the encoding deterministic for identical
+        logical state.
+        """
+        return {
+            "pages": [[p, bits] for p, bits in sorted(self._pages.items())],
+            "peak": self.pages_touched_peak,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "EpochBitmap":
+        """Rebuild a bitmap from :meth:`snapshot` output."""
+        bm = cls()
+        bm._pages = {p: bits for p, bits in state["pages"]}
+        bm.pages_touched_peak = state["peak"]
+        return bm
+
     @property
     def live_pages(self) -> int:
         return len(self._pages)

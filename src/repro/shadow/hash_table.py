@@ -275,6 +275,53 @@ class ShadowTable:
             key += 1
 
     # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def snapshot(self, encode: Optional[Callable] = None) -> dict:
+        """JSON-able structural state of the table.
+
+        Buckets are emitted in sorted-key order and slots in index
+        order, so ``encode`` (applied to each stored record) observes
+        records in strictly increasing address order — the group
+        manager relies on this to assign deterministic group ids.
+        """
+        enc = encode if encode is not None else (lambda rec: rec)
+        buckets = []
+        for key in sorted(self._buckets):
+            entry = self._buckets[key]
+            slots = [[i, enc(rec)] for i, rec in enumerate(entry) if rec is not None]
+            buckets.append([key, 1 if len(entry) == self.m else 0, slots])
+        return {
+            "m": self.m,
+            "entry_count": self.entry_count,
+            "slot_count": self.slot_count,
+            "item_count": self.item_count,
+            "buckets": buckets,
+        }
+
+    def restore(self, state: dict, decode: Optional[Callable] = None) -> None:
+        """Rebuild the table from :meth:`snapshot` output in place.
+
+        Buckets are built directly at their recorded size class, so
+        ``on_resize`` never fires: the owner restores its memory-model
+        counters verbatim instead of replaying allocation history.
+        """
+        if state["m"] != self.m:
+            raise ValueError(f"snapshot m={state['m']} != table m={self.m}")
+        dec = decode if decode is not None else (lambda rec: rec)
+        small = self.m // 4
+        buckets: dict = {}
+        for key, full, slots in state["buckets"]:
+            entry = [None] * (self.m if full else small)
+            for idx, rec in slots:
+                entry[idx] = dec(rec)
+            buckets[key] = entry
+        self._buckets = buckets
+        self.entry_count = state["entry_count"]
+        self.slot_count = state["slot_count"]
+        self.item_count = state["item_count"]
+
+    # ------------------------------------------------------------------
     # neighbour search (dynamic-granularity heuristic support)
     # ------------------------------------------------------------------
     def predecessor(self, addr: int, limit: int = 128):

@@ -314,3 +314,22 @@ def test_trial_timeout_counted_not_fatal():
 
 def test_run_fuzz_is_the_campaign_alias():
     assert run_fuzz is fuzz_schedules
+
+
+def test_detector_checkpoints_sessions_match_straight_runs(tmp_path):
+    result = fuzz_schedules(
+        _racy_factory,
+        trials=4,
+        detector_checkpoints=3,
+        recovery_dir=str(tmp_path),
+    )
+    assert result.recovery_divergences == 0
+    assert result.recovered_runs == 4
+    assert result.detector_kills >= 4  # always >= one kill per trial
+    # per-seed checkpoint dirs kept for postmortem when recovery_dir set
+    assert (tmp_path / "seed-0").is_dir()
+    rt = FuzzResult.from_json(result.to_json())
+    assert rt.recovered_runs == result.recovered_runs
+    assert rt.recovery_divergences == 0
+    assert rt.detector_kills == result.detector_kills
+    assert "killed-and-resumed" in format_fuzz_result(result)

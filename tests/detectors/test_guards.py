@@ -174,3 +174,33 @@ def test_batch_callbacks_forward_to_inner():
     assert not det.crashed
     assert inner.total_accesses == 8
     assert det.races  # write-read race surfaced through the wrapper
+
+
+def test_dunder_probes_not_delegated_to_inner():
+    # copy/pickle probe dunders like __deepcopy__ / __getstate__ via
+    # getattr; delegating those to the inner detector (or recursing
+    # before ``inner`` exists) broke both protocols.
+    det = GuardedDetector(_CrashAfter())
+    det.inner.__dict__["__marker__"] = 42
+    with pytest.raises(AttributeError):
+        getattr(det, "__marker__")
+    assert det.crash_at == 3  # ordinary attributes still delegate
+
+
+def test_uninitialized_wrapper_does_not_recurse():
+    shell = GuardedDetector.__new__(GuardedDetector)
+    with pytest.raises(AttributeError):
+        shell.anything
+    with pytest.raises(AttributeError):
+        getattr(shell, "__deepcopy__")
+
+
+def test_guarded_detector_is_copyable():
+    import copy
+
+    det = GuardedDetector(create_detector("dynamic"))
+    replay(_racy_trace(), det)
+    dup = copy.deepcopy(det)
+    assert dup is not det
+    assert dup.inner is not det.inner
+    assert len(dup.races) == len(det.races)

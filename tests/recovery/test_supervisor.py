@@ -1,0 +1,129 @@
+"""Supervisor behaviour around bad checkpoints and hopeless detectors."""
+
+import pytest
+
+from repro.detectors.base import Detector
+from repro.detectors.registry import create_detector
+from repro.recovery.checkpoint import MAGIC, CheckpointError, read_checkpoint
+from repro.recovery.session import (
+    DetectionSession,
+    DetectorKilled,
+    Supervisor,
+    SupervisorError,
+)
+from repro.runtime.vm import replay
+from repro.workloads.base import default_suppression
+from repro.workloads.registry import build_trace
+
+
+def _race_keys(result):
+    return [
+        (r.addr, r.kind, r.tid, r.site, r.prev_tid, r.prev_site, r.unit)
+        for r in result.races
+    ]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace("ffmpeg", scale=0.2, seed=1)
+
+
+def _session(trace, tmp_path, **kwargs):
+    kwargs.setdefault("suppress", default_suppression)
+    kwargs.setdefault("checkpoint_every", 700)
+    return DetectionSession(
+        trace, "dynamic", checkpoint_dir=str(tmp_path / "ckpts"), **kwargs
+    )
+
+
+def test_corrupt_newest_falls_back_to_previous(trace, tmp_path):
+    want = replay(
+        trace, create_detector("dynamic", suppress=default_suppression)
+    )
+    # Produce a few checkpoints, then die.
+    session = _session(trace, tmp_path, kills=[2200], keep_checkpoints=5)
+    with pytest.raises(DetectorKilled):
+        session.run()
+    found = session.checkpoints()
+    assert len(found) >= 2
+    # Flip a byte in the newest checkpoint's payload.
+    newest = found[-1]
+    with open(newest, "rb") as fh:
+        blob = bytearray(fh.read())
+    blob[60] ^= 0xFF
+    with open(newest, "wb") as fh:
+        fh.write(bytes(blob))
+    with pytest.raises(CheckpointError):
+        read_checkpoint(newest)
+
+    got = Supervisor(session, sleep=lambda _s: None).run()
+    rec = got.stats["recovery"]
+    assert rec["bad_checkpoints"] == 1
+    assert rec["resumes"] == 1
+    # Resumed from the previous generation, not the corrupt one.
+    assert rec["last_resume_event"] < 2200
+    assert _race_keys(got) == _race_keys(want)
+    # The corrupt file was discarded, never to be offered again.
+    assert newest not in session.checkpoints()
+
+
+def test_all_checkpoints_corrupt_means_cold_restart(trace, tmp_path):
+    want = replay(
+        trace, create_detector("dynamic", suppress=default_suppression)
+    )
+    session = _session(trace, tmp_path, kills=[2200], keep_checkpoints=5)
+    with pytest.raises(DetectorKilled):
+        session.run()
+    for path in session.checkpoints():
+        with open(path, "wb") as fh:
+            fh.write(MAGIC + b"not json\n" + b"junk")
+    got = Supervisor(session, max_retries=10, sleep=lambda _s: None).run()
+    rec = got.stats["recovery"]
+    assert rec["bad_checkpoints"] >= 1
+    assert _race_keys(got) == _race_keys(want)
+
+
+class _AlwaysCrashes(Detector):
+    name = "always-crashes"
+
+    def on_read(self, tid, addr, size, site=0):
+        raise RuntimeError("hopeless")
+
+    def on_write(self, tid, addr, size, site=0):
+        raise RuntimeError("hopeless")
+
+
+def test_hopeless_detector_exhausts_retries(trace, tmp_path):
+    session = DetectionSession(
+        trace,
+        _AlwaysCrashes,
+        checkpoint_dir=str(tmp_path / "ckpts"),
+        checkpoint_every=700,
+    )
+    sup = Supervisor(session, max_retries=2, sleep=lambda _s: None)
+    with pytest.raises(SupervisorError, match="giving up after 2 retries"):
+        sup.run()
+    assert session.recovery["crashes"] == 3  # initial try + 2 retries
+
+
+def test_backoff_schedule_is_bounded():
+    delays = []
+    trace = build_trace("ffmpeg", scale=0.1, seed=0)
+    session = DetectionSession(
+        trace,
+        _AlwaysCrashes,
+        checkpoint_dir="unused",
+        checkpoint_every=700,
+    )
+    sup = Supervisor(
+        session,
+        max_retries=4,
+        backoff_base=0.1,
+        backoff_factor=2.0,
+        backoff_max=0.3,
+        sleep=delays.append,
+    )
+    with pytest.raises(SupervisorError):
+        sup.run()
+    assert delays == [0.1, 0.2, 0.3, 0.3]
+    assert session.recovery["retries"] == 4

@@ -160,3 +160,44 @@ def test_unfired_faults_leave_no_records():
     plan = FaultPlan([FaultSpec(KILL_THREAD, 10_000)])
     trace = Scheduler(seed=0).run(_lock_pair_program(), faults=plan)
     assert trace.faults == []
+
+
+def test_detector_kills_invisible_to_scheduler_injector():
+    from repro.runtime.faults import KILL_DETECTOR
+
+    plan = FaultPlan(
+        [FaultSpec(KILL_DETECTOR, 0), FaultSpec(KILL_THREAD, 5)]
+    )
+    inj = plan.injector()
+    # due() silently discards the detector-side spec: arming it would
+    # corrupt the injector's state (the scheduler cannot act on it).
+    spec = inj.due(10)
+    assert spec.kind == KILL_THREAD
+    assert inj.due(10) is None
+
+
+def test_detector_kill_events_and_scheduler_specs_split():
+    from repro.runtime.faults import DETECTOR_KINDS, KILL_DETECTOR
+
+    plan = FaultPlan(
+        [
+            FaultSpec(KILL_DETECTOR, 9),
+            FaultSpec(KILL_THREAD, 1),
+            FaultSpec(KILL_DETECTOR, 3),
+        ]
+    )
+    assert plan.detector_kill_events() == [3, 9]
+    assert [s.kind for s in plan.scheduler_specs().specs] == [KILL_THREAD]
+    assert KILL_DETECTOR in FAULT_KINDS
+    assert KILL_DETECTOR not in DEFAULT_KINDS
+    assert DETECTOR_KINDS == (KILL_DETECTOR,)
+
+
+def test_scheduler_unperturbed_by_detector_kill_plan():
+    from repro.runtime.faults import KILL_DETECTOR
+
+    plan = FaultPlan([FaultSpec(KILL_DETECTOR, 1)])
+    clean = Scheduler(seed=3).run(_lock_pair_program())
+    faulted = Scheduler(seed=3).run(_lock_pair_program(), faults=plan)
+    assert faulted.events == clean.events
+    assert faulted.faults == []  # never fired scheduler-side
