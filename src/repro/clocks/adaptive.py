@@ -36,8 +36,17 @@ class ReadClock:
         return self.vc is not None
 
     def copy(self) -> "ReadClock":
-        """An independent copy (shared-mode clock is deep-copied)."""
-        return ReadClock(self.epoch, self.vc.copy() if self.vc is not None else None)
+        """An independent copy.
+
+        A shared-mode clock is duplicated copy-on-write: group splits
+        copy read clocks that are mostly compared and joined afterwards,
+        so the backing list is shared until one side actually records a
+        new read (``record`` mutates via ``VectorClock.set``, which
+        un-shares first).
+        """
+        return ReadClock(
+            self.epoch, self.vc.cow_copy() if self.vc is not None else None
+        )
 
     # ------------------------------------------------------------------
     # checkpoint serialization

@@ -20,10 +20,14 @@ from typing import Iterable, List
 class VectorClock:
     """A growable vector of logical clocks indexed by thread id."""
 
-    __slots__ = ("_c",)
+    __slots__ = ("_c", "_shared")
 
     def __init__(self, clocks: Iterable[int] = ()):  # noqa: D107
         self._c: List[int] = list(clocks)
+        # Copy-on-write flag: True while the backing list may be aliased
+        # by another clock created with :meth:`cow_copy`.  Every mutator
+        # un-shares before writing, so aliasing is never observable.
+        self._shared = False
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -44,6 +48,23 @@ class VectorClock:
         """An independent copy of this clock."""
         vc = VectorClock()
         vc._c = self._c[:]
+        return vc
+
+    def cow_copy(self) -> "VectorClock":
+        """A copy sharing this clock's backing list until either side
+        mutates.
+
+        Sync-object clocks are copied at every first release and every
+        read-clock duplication, and most of those copies are only ever
+        *read* (joined into other clocks, compared).  Sharing the list
+        defers the O(threads) allocation to the first actual write;
+        :meth:`set`, :meth:`increment` and :meth:`join` un-share first,
+        so observable behavior is identical to :meth:`copy`.
+        """
+        vc = VectorClock()
+        vc._c = self._c
+        vc._shared = True
+        self._shared = True
         return vc
 
     @classmethod
@@ -67,6 +88,9 @@ class VectorClock:
 
     def set(self, tid: int, value: int) -> None:
         """Set the clock for ``tid``, growing the vector as needed."""
+        if self._shared:
+            self._c = self._c[:]
+            self._shared = False
         c = self._c
         if tid >= len(c):
             c.extend([0] * (tid + 1 - len(c)))
@@ -74,6 +98,9 @@ class VectorClock:
 
     def increment(self, tid: int) -> int:
         """Advance ``tid``'s clock by one and return the new value."""
+        if self._shared:
+            self._c = self._c[:]
+            self._shared = False
         c = self._c
         if tid >= len(c):
             c.extend([0] * (tid + 1 - len(c)))
@@ -89,8 +116,23 @@ class VectorClock:
     def join(self, other: "VectorClock") -> None:
         """In-place element-wise maximum (the ⊔ of the clock lattice)."""
         a, b = self._c, other._c
-        if len(b) > len(a):
-            a.extend([0] * (len(b) - len(a)))
+        if a is b:
+            return  # joining a CoW alias of ourselves is a no-op
+        if self._shared:
+            a = self._c = a[:]
+            self._shared = False
+        na, nb = len(a), len(b)
+        if na == nb:
+            # Equal stored lengths — the overwhelmingly common case once
+            # every thread has forked: no extend, one fused loop.
+            i = 0
+            for bv in b:
+                if bv > a[i]:
+                    a[i] = bv
+                i += 1
+            return
+        if nb > na:
+            a.extend([0] * (nb - na))
         for i, bv in enumerate(b):
             if bv > a[i]:
                 a[i] = bv
@@ -99,6 +141,13 @@ class VectorClock:
         """Pointwise ``self[i] <= other[i]`` (the happens-before order)."""
         a, b = self._c, other._c
         nb = len(b)
+        if len(a) <= nb:
+            # No implicit-zero tail to worry about: zip is the fastest
+            # pure-Python pairwise walk.
+            for av, bv in zip(a, b):
+                if av > bv:
+                    return False
+            return True
         for i, av in enumerate(a):
             if av > (b[i] if i < nb else 0):
                 return False

@@ -274,7 +274,10 @@ class VectorClockRuntime(Detector):
         vc = self._vc(tid)
         lvc = self.lock_vc.get(sync_id)
         if lvc is None:
-            self.lock_vc[sync_id] = vc.copy()
+            # Copy-on-write: the releaser's clock increments right after
+            # (un-sharing its side), and the lock copy is only read until
+            # a second release joins into it (un-sharing the other side).
+            self.lock_vc[sync_id] = vc.cow_copy()
         else:
             lvc.join(vc)
         vc.increment(tid)

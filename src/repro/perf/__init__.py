@@ -14,7 +14,13 @@ paper's design targets:
   ``repro-race bench``: replays the embedded workloads across the
   granularity family, measures events/sec and slowdown vs bare replay,
   and writes ``BENCH_slowdown.json`` so every PR has a perf trajectory
-  to compare against.
+  to compare against (plus an append-only ``BENCH_history.jsonl`` run
+  log).
+* :mod:`repro.perf.parallel` — the sharded detection pipeline: the
+  shadow address space is cut into shards at boundaries proven safe for
+  the detector family, each shard runs its own detector instance (in
+  process or in worker processes), and the per-shard outputs merge
+  deterministically into results byte-identical to an unsharded run.
 """
 
 from repro.perf.batch import DEFAULT_BATCH_SPAN, BatchStats, coalesce_events
@@ -24,7 +30,21 @@ __all__ = [
     "BatchStats",
     "coalesce_events",
     "run_bench",
+    "sharded_replay",
+    "ShardedDetector",
+    "ShardPlan",
+    "plan_shards",
 ]
+
+
+def __getattr__(name):
+    # Lazy re-exports: repro.perf.parallel pulls in the detector stack,
+    # which plain batching users should not pay for.
+    if name in ("sharded_replay", "ShardedDetector", "ShardPlan", "plan_shards"):
+        from repro.perf import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_bench(*args, **kwargs):

@@ -21,6 +21,9 @@ a perf trajectory to diff; ``--quick`` keeps CI runs to a few seconds.
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import TimedDetector
@@ -32,6 +35,11 @@ from repro.workloads.base import default_suppression
 from repro.workloads.registry import get_workload, workload_names
 
 SCHEMA = "repro-race-bench/v1"
+
+#: Schema of the append-only run log (``BENCH_history.jsonl``): one
+#: JSON line per bench invocation, compact enough to diff across the
+#: whole project history.
+HISTORY_SCHEMA = "repro-race-bench-history/v1"
 
 #: The detectors whose cost curve the bench tracks: the paper's two
 #: fixed granularities plus dynamic granularity.
@@ -47,6 +55,100 @@ FULL_SCALE = 0.5
 
 def _race_key(r) -> tuple:
     return (r.addr, r.kind, r.tid, r.site, r.prev_tid, r.prev_site, r.unit)
+
+
+def _shard_counts(shards: int) -> List[int]:
+    """The speedup-curve sample points: powers of two up to ``shards``,
+    plus ``shards`` itself (so ``--shards 7`` measures 2, 4 and 7)."""
+    counts = []
+    c = 2
+    while c < shards:
+        counts.append(c)
+        c *= 2
+    counts.append(shards)
+    return counts
+
+
+def _sharded_rows(
+    trace: Trace,
+    detector_name: str,
+    shards: int,
+    span: int,
+    repeats: int,
+    baseline,
+    divergences: List[Dict[str, object]],
+    wname: str,
+) -> Dict[str, object]:
+    """Per-shard-count measurements for one (workload, detector).
+
+    Every sharded run is conformance-checked against the single-shard
+    ``baseline`` (batched replay): race keys and statistics must match
+    exactly, and any divergence fails the bench like a batching
+    divergence does.  Serial mode measures the in-process adapter
+    (merge overhead, no parallelism); process mode runs one worker per
+    shard and is the parallel-speedup figure.
+    """
+    from repro.perf.parallel import ShardError, sharded_replay
+
+    base_keys = [_race_key(r) for r in baseline.races]
+    base_stats = dict(baseline.stats)
+    base_eps = (
+        len(trace) / baseline.wall_time if baseline.wall_time > 0 else 0.0
+    )
+    rows: Dict[str, object] = {}
+    for count in _shard_counts(shards):
+        row: Dict[str, object] = {"requested": count}
+        try:
+            runs = {"serial": None, "processes": None}
+            for _ in range(max(repeats, 1)):
+                for mode in runs:
+                    det = create_detector(
+                        detector_name, suppress=default_suppression
+                    )
+                    res = sharded_replay(
+                        trace,
+                        det,
+                        count,
+                        batched=True,
+                        batch_span=span,
+                        processes=count if mode == "processes" else 0,
+                    )
+                    if runs[mode] is None or res.wall_time < runs[mode].wall_time:
+                        runs[mode] = res
+        except ShardError as exc:
+            row["error"] = str(exc)
+            rows[str(count)] = row
+            continue
+        row["effective"] = runs["serial"].stats["shards"]["effective"]
+        conforms = True
+        for mode, res in runs.items():
+            keys = [_race_key(r) for r in res.races]
+            stats = {k: v for k, v in res.stats.items() if k != "shards"}
+            if keys != base_keys or stats != base_stats:
+                conforms = False
+                divergences.append(
+                    {
+                        "workload": wname,
+                        "detector": detector_name,
+                        "kind": f"sharded-{mode}",
+                        "shards": count,
+                        "unsharded_races": len(base_keys),
+                        "sharded_races": len(keys),
+                        "stats_match": stats == base_stats,
+                    }
+                )
+            eps = len(trace) / res.wall_time if res.wall_time > 0 else 0.0
+            row[mode] = {
+                "wall_s": res.wall_time,
+                "events_per_sec": eps,
+                "speedup_vs_single": eps / base_eps if base_eps > 0 else 0.0,
+            }
+        row["processes"]["procs"] = runs["processes"].stats["shards"].get(
+            "processes", 0
+        )
+        row["conforms"] = conforms
+        rows[str(count)] = row
+    return rows
 
 
 def _min_replay_pair(trace: Trace, detector_name: str, repeats: int):
@@ -97,8 +199,16 @@ def run_bench(
     batch_span: Optional[int] = None,
     quick: bool = False,
     profile: bool = False,
+    shards: int = 1,
 ) -> Dict[str, object]:
-    """The full bench sweep; returns the ``BENCH_slowdown.json`` dict."""
+    """The full bench sweep; returns the ``BENCH_slowdown.json`` dict.
+
+    With ``shards > 1`` each (workload, detector) pair additionally
+    runs through the sharded pipeline at every shard count on the
+    speedup curve (2, 4, …, ``shards``), in both serial and process
+    mode, and every sharded run is conformance-checked against the
+    single-detector batched replay.
+    """
     if workloads is None:
         workloads = QUICK_WORKLOADS if quick else tuple(workload_names())
     if scale is None:
@@ -156,6 +266,17 @@ def run_bench(
                 )
                 replay(trace, timed, batched=True)
                 det_row["perf"] = timed.statistics()["perf"]
+            if shards > 1:
+                det_row["sharded"] = _sharded_rows(
+                    trace,
+                    dname,
+                    shards,
+                    span,
+                    repeats,
+                    run_ba,
+                    divergences,
+                    wname,
+                )
             det_rows[dname] = det_row
         wl_rows[wname] = {
             "events": events,
@@ -180,6 +301,7 @@ def run_bench(
             "seed": seed,
             "repeats": repeats,
             "batch_span": span,
+            "shards": shards,
         },
         "workloads": wl_rows,
         "conformance": {
@@ -193,6 +315,78 @@ def write_bench(result: Dict[str, object], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def _git_rev() -> str:
+    """Short commit hash of the working tree, or ``"unknown"`` outside a
+    git checkout (history lines must still be writable there)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def history_line(result: Dict[str, object]) -> Dict[str, object]:
+    """The compact per-run summary appended to ``BENCH_history.jsonl``.
+
+    One line per bench invocation: schema, git revision, timestamp,
+    config, and per (workload, detector) the throughput/slowdown pair
+    plus — when sharding was measured — the per-shard-count speedup
+    curve.  Everything else (shadow stats, divergence details) stays in
+    the full ``BENCH_slowdown.json``.
+    """
+    rows: List[Dict[str, object]] = []
+    for wname, wrow in result["workloads"].items():
+        for dname, drow in wrow["detectors"].items():
+            row: Dict[str, object] = {
+                "workload": wname,
+                "detector": dname,
+                "events": wrow["events"],
+                "events_per_sec": drow["unbatched"]["events_per_sec"],
+                "events_per_sec_batched": drow["batched"]["events_per_sec"],
+                "slowdown": drow["unbatched"]["slowdown"],
+                "slowdown_batched": drow["batched"]["slowdown"],
+            }
+            sharded = drow.get("sharded")
+            if sharded:
+                row["sharded"] = {
+                    count: {
+                        "effective": srow.get("effective", 1),
+                        "events_per_sec": srow["processes"]["events_per_sec"],
+                        "speedup_vs_single": srow["processes"][
+                            "speedup_vs_single"
+                        ],
+                    }
+                    for count, srow in sharded.items()
+                    if "error" not in srow
+                }
+            rows.append(row)
+    return {
+        "schema": HISTORY_SCHEMA,
+        "git_rev": _git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": result["quick"],
+        "config": result["config"],
+        "divergences": result["conformance"]["divergences"],
+        "rows": rows,
+    }
+
+
+def append_history(result: Dict[str, object], path: str) -> Dict[str, object]:
+    """Append :func:`history_line` to the JSONL run log at ``path``."""
+    line = history_line(result)
+    with open(path, "a") as fh:
+        json.dump(line, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return line
 
 
 def format_bench(result: Dict[str, object]) -> str:
@@ -215,6 +409,21 @@ def format_bench(result: Dict[str, object]) -> str:
                 f"{un['slowdown']:6.2f} {ba['slowdown']:7.2f} "
                 f"{'yes' if drow['conforms'] else 'NO'}"
             )
+            for count, srow in drow.get("sharded", {}).items():
+                if "error" in srow:
+                    lines.append(
+                        f"{'':14s}   shards={count}: {srow['error']}"
+                    )
+                    continue
+                ser, par = srow["serial"], srow["processes"]
+                lines.append(
+                    f"{'':14s}   shards={count} (eff {srow['effective']}): "
+                    f"serial {ser['events_per_sec']:.0f} ev/s "
+                    f"({ser['speedup_vs_single']:.2f}x), "
+                    f"procs {par['events_per_sec']:.0f} ev/s "
+                    f"({par['speedup_vs_single']:.2f}x) "
+                    f"{'ok' if srow['conforms'] else 'DIVERGED'}"
+                )
         lines.append(f"{'':14s} (dispatch compression {comp:.1f}%)")
     conf = result["conformance"]
     lines.append(

@@ -1,0 +1,1130 @@
+"""Sharded parallel detection: partition the shadow space, replay per
+shard, merge deterministically.
+
+The shadow address space is split into N *shards* (contiguous ranges by
+default, hashed 4 KiB pages as an alternative for fixed-granularity
+detectors).  Each shard gets its own detector instance which consumes
+that shard's READ/WRITE/ALLOC/FREE events plus a broadcast copy of every
+sync event (ACQUIRE/RELEASE/FORK/JOIN) — so every shard maintains the
+full happens-before order while holding only its slice of the shadow
+state.  Per-shard outputs are merged into one result that is required to
+be *byte-identical* to the unsharded run: same races in the same order,
+same statistics including exact memory peaks.
+
+Why a cut is safe (ALGORITHM.md §11 has the full argument):
+
+* Cuts are ``CUT_ALIGN``-aligned and *clean* — no access straddles one —
+  so accesses, shadow units and shadow-hash entry blocks partition
+  exactly and per-shard hash/unit accounting is additive.
+* For the dynamic-granularity family, clock groups must never straddle a
+  cut in the unsharded run either (otherwise the sharded run, which
+  cannot form the cross-cut group, would diverge).  The planner proves
+  this per candidate cut from one linear pass: writes may merge across
+  the cut only if the two adjacent ``GRANULE``-byte granules share a
+  write (tid, epoch) signature, and reads only if a signature value
+  reaches both sides of the cut through the connected run of read-touched
+  granules (read clocks propagate along merged extents, so the test is
+  region-wide, not granule-local).  Unsafe boundaries are rejected; the
+  plan degrades to fewer shards rather than risk divergence.
+* Exact merged statistics come from *journals*: worker-side subclasses
+  of the accounting objects record every counter mutation with the
+  global trace position, and the merge replays the k-way interleaving in
+  global order — peaks and at-peak averages are reconstructed exactly,
+  not approximated.  Per-thread same-epoch bitmap footprints are sampled
+  at every epoch boundary (sync events are broadcast, so samples align
+  across shards) with a correction for 4 KiB pages split by a cut.
+
+``sharded_replay`` is the entry point; ``ShardedDetector`` is the
+in-process adapter used by the serial path and by resumable sessions.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.groups import GroupStats
+from repro.detectors.base import RaceReport
+from repro.perf.batch import DEFAULT_BATCH_SPAN, coalesce_indexed
+from repro.runtime.events import (
+    ACQUIRE,
+    ALLOC,
+    FORK,
+    FREE,
+    JOIN,
+    READ,
+    RELEASE,
+    WRITE,
+)
+from repro.shadow.accounting import (
+    BITMAP,
+    CATEGORY_NAMES,
+    MemoryModel,
+    SizeModel,
+)
+
+#: Shard cuts are aligned to shadow-hash entry blocks (128 consecutive
+#: addresses per entry), which makes per-shard hash accounting exactly
+#: additive: an entry's bytes are charged by whichever shard owns its
+#: block, never split.
+CUT_ALIGN = 128
+
+#: Signature granule for the dynamic-family safety analysis.  32 bytes
+#: strictly exceeds every mechanism that can join state across a cut:
+#: the neighbour scan (``neighbor_scan_limit`` <= 16), the adjacent-byte
+#: adopt probe (1), and the second-epoch decision probes (+-8 for access
+#: widths <= 8).  An access within reach of a cut therefore stays within
+#: the granule pair the planner inspects, and one fully untouched
+#: granule disconnects read-clock propagation.
+GRANULE = 32
+
+_GRANULE_SHIFT = 5
+_CUT_SHIFT = 7
+_PAGE_SHIFT = 12
+_PAGE_MASK = (1 << _PAGE_SHIFT) - 1
+
+#: Dynamic-family sharding is proven safe for neighbour scans up to half
+#: a granule; larger (non-default) scan limits would need a wider
+#: analysis granule, so the planner refuses them instead of guessing.
+_MAX_SCAN_LIMIT = GRANULE // 2
+
+
+class ShardError(ValueError):
+    """Invalid sharding request (bad arguments, unsupported detector)."""
+
+
+class ShardPlanError(ShardError):
+    """The trace/strategy/detector combination admits no safe plan."""
+
+
+class ShardMergeError(ShardError):
+    """Per-shard outputs were inconsistent — the invariant that sharded
+    replay is equivalent to unsharded replay would be violated."""
+
+
+def _detector_family(detector) -> str:
+    """``"dynamic"`` or ``"fixed"`` — the two families the safety
+    analysis understands.  Wrapped/guarded detectors are refused: their
+    budget heuristics are global and would diverge per shard."""
+    from repro.core.detector import DynamicGranularityDetector
+    from repro.detectors.fasttrack import FastTrackDetector
+
+    if isinstance(detector, DynamicGranularityDetector):
+        if detector.config.neighbor_scan_limit > _MAX_SCAN_LIMIT:
+            raise ShardPlanError(
+                f"sharding the dynamic family is proven safe only for "
+                f"neighbor_scan_limit <= {_MAX_SCAN_LIMIT} "
+                f"(got {detector.config.neighbor_scan_limit})"
+            )
+        return "dynamic"
+    if isinstance(detector, FastTrackDetector):
+        return "fixed"
+    raise ShardError(
+        f"detector {getattr(detector, 'name', type(detector).__name__)!r} "
+        "does not support sharding (only the fixed- and "
+        "dynamic-granularity FastTrack families do)"
+    )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A concrete partition of the shadow address space.
+
+    ``ranges`` strategy: ``cuts`` are sorted, CUT_ALIGN-aligned byte
+    addresses; shard ``k`` owns ``[cuts[k-1], cuts[k])``.  ``pages``
+    strategy: shard of an address is ``(addr >> 12) % requested``.
+    """
+
+    requested: int
+    strategy: str
+    family: str
+    cuts: Tuple[int, ...] = ()
+
+    @property
+    def shards(self) -> int:
+        """Effective shard count (<= requested when few safe cuts exist)."""
+        if self.strategy == "pages":
+            return self.requested
+        return len(self.cuts) + 1
+
+    def shard_of(self, addr: int) -> int:
+        if self.strategy == "pages":
+            return (addr >> _PAGE_SHIFT) % self.requested
+        return bisect_right(self.cuts, addr)
+
+    def piece_end(self, addr: int, end: int, shard: int) -> int:
+        """End of the maximal piece of ``[addr, end)`` starting at
+        ``addr`` that stays inside ``shard`` (splits coalesced runs)."""
+        if self.strategy == "pages":
+            return min(end, ((addr >> _PAGE_SHIFT) + 1) << _PAGE_SHIFT)
+        cuts = self.cuts
+        if shard >= len(cuts):
+            return end
+        return min(end, cuts[shard])
+
+    def straddled_pages(self) -> Dict[int, Tuple[int, ...]]:
+        """4 KiB bitmap pages split by a cut -> shard indices owning a
+        part of the page (consecutive; used to correct the double-count
+        in merged bitmap accounting)."""
+        pages: Dict[int, set] = {}
+        for i, c in enumerate(self.cuts):
+            if c & _PAGE_MASK:
+                pages.setdefault(c >> _PAGE_SHIFT, set()).update((i, i + 1))
+        return {p: tuple(sorted(s)) for p, s in sorted(pages.items())}
+
+    def boundary_pages(self, shard: int) -> Tuple[int, ...]:
+        """Straddled pages this shard holds a part of (<= 2 for ranges)."""
+        return tuple(
+            p for p, owners in self.straddled_pages().items() if shard in owners
+        )
+
+    def key(self) -> tuple:
+        return (self.requested, self.strategy, self.family, self.cuts)
+
+
+def plan_shards(trace, shards: int, detector, strategy: str = "ranges") -> ShardPlan:
+    """Compute a safe :class:`ShardPlan` for ``trace``.
+
+    One linear analysis pass simulates per-thread epochs (a thread's
+    clock advances at its RELEASEs and FORKs, exactly as
+    ``VectorClockRuntime`` advances them), collects per-granule access
+    signatures, finds cut addresses straddled by an access, and weighs
+    each CUT_ALIGN block by access count.  Safe candidate cuts are then
+    chosen at access-weight quantiles so shards balance; when fewer safe
+    cuts exist than requested, the plan degrades (``plan.shards`` <
+    ``shards``) but never compromises equivalence.
+    """
+    family = _detector_family(detector)
+    if shards < 1:
+        raise ShardError(f"shard count must be >= 1, got {shards}")
+    if strategy not in ("ranges", "pages"):
+        raise ShardError(f"unknown shard strategy {strategy!r}")
+
+    if strategy == "pages":
+        if family != "fixed":
+            raise ShardPlanError(
+                "hashed-page sharding requires per-unit shadow state; "
+                "the dynamic family merges clock groups across page "
+                "boundaries — use strategy='ranges'"
+            )
+        for ev in trace.events:
+            if ev[0] <= WRITE and (
+                ev[2] >> _PAGE_SHIFT != (ev[2] + ev[3] - 1) >> _PAGE_SHIFT
+            ):
+                raise ShardPlanError(
+                    f"access at 0x{ev[2]:x}+{ev[3]} straddles a 4 KiB page "
+                    "boundary; hashed-page sharding needs every page "
+                    "boundary clean"
+                )
+        return ShardPlan(shards, "pages", family)
+
+    if shards == 1:
+        return ShardPlan(1, "ranges", family)
+
+    # ---- analysis pass ------------------------------------------------
+    clock: Dict[int, int] = {}
+    wsig: Dict[int, set] = {}   # granule -> {(tid, epoch)} of writes
+    rsig: Dict[int, set] = {}   # granule -> {(tid, epoch)} of reads
+    dirty: set = set()          # CUT_ALIGN-aligned addrs straddled by an access
+    weight: Dict[int, int] = {} # CUT_ALIGN block -> access count
+    touched: set = set()        # CUT_ALIGN blocks with any access
+
+    for ev in trace.events:
+        op = ev[0]
+        if op <= WRITE:
+            tid = ev[1]
+            base = ev[2]
+            last = base + ev[3] - 1
+            sig = (tid, clock.get(tid, 1))
+            table = wsig if op == WRITE else rsig
+            for g in range(base >> _GRANULE_SHIFT, (last >> _GRANULE_SHIFT) + 1):
+                s = table.get(g)
+                if s is None:
+                    s = table[g] = set()
+                s.add(sig)
+            b0 = base >> _CUT_SHIFT
+            b1 = last >> _CUT_SHIFT
+            touched.add(b0)
+            if b1 != b0:
+                for b in range(b0 + 1, b1 + 1):
+                    dirty.add(b << _CUT_SHIFT)
+                    touched.add(b)
+            weight[b0] = weight.get(b0, 0) + 1
+        elif op == RELEASE or op == FORK:
+            tid = ev[1]
+            clock[tid] = clock.get(tid, 1) + 1
+
+    # ---- read-propagation intervals ----------------------------------
+    # Read clocks roam along a group's connected extent, so a signature
+    # value occurring at granules l < g inside one run of consecutive
+    # read-touched granules makes every boundary in (l, g] unsafe.
+    read_unsafe: set = set()
+    last_seen: Dict[tuple, int] = {}
+    prev_g = None
+    for g in sorted(rsig):
+        if prev_g is None or g != prev_g + 1:
+            last_seen = {}  # an untouched granule disconnects the run
+        for v in rsig[g]:
+            l = last_seen.get(v)
+            if l is not None and l < g:
+                read_unsafe.update(range(l + 1, g + 1))
+            last_seen[v] = g
+        prev_g = g
+
+    # ---- candidate cuts ----------------------------------------------
+    empty: frozenset = frozenset()
+    candidates: List[int] = []
+    cand_w: List[int] = []
+    running = 0
+    prev_b = None
+    for b in sorted(touched):
+        c = b << _CUT_SHIFT
+        if prev_b is not None and c not in dirty:
+            ok = True
+            if family == "dynamic":
+                g = c >> _GRANULE_SHIFT
+                if wsig.get(g - 1, empty) & wsig.get(g, empty):
+                    ok = False
+                elif g in read_unsafe:
+                    ok = False
+            if ok:
+                candidates.append(c)
+                cand_w.append(running)
+        running += weight.get(b, 0)
+        prev_b = b
+
+    if not candidates:
+        return ShardPlan(shards, "ranges", family, ())
+
+    # ---- quantile selection ------------------------------------------
+    total = running
+    chosen: set = set()
+    for k in range(1, shards):
+        target = total * k / shards
+        i = bisect_right(cand_w, target)
+        best = None
+        for j in (i - 1, i):
+            if 0 <= j < len(candidates) and candidates[j] not in chosen:
+                if best is None or abs(cand_w[j] - target) < abs(
+                    cand_w[best] - target
+                ):
+                    best = j
+        if best is not None:
+            chosen.add(candidates[best])
+    return ShardPlan(shards, "ranges", family, tuple(sorted(chosen)))
+
+
+def plan_for(trace, shards: int, detector, strategy: str = "ranges") -> ShardPlan:
+    """:func:`plan_shards` with a per-trace cache (plans are replayed by
+    every detector of the same family at every shard count)."""
+    cache = getattr(trace, "_shard_plans", None)
+    if cache is None:
+        cache = trace._shard_plans = {}
+    key = (shards, strategy, _detector_family(detector))
+    plan = cache.get(key)
+    if plan is None:
+        plan = cache[key] = plan_shards(trace, shards, detector, strategy)
+    return plan
+
+
+def shard_feeds(trace, plan: ShardPlan, batched: bool, batch_span=None):
+    """Per-shard dispatch feeds with global positions, cached on the
+    trace (like the global coalesced feed, the split is paid once and
+    shared by every replay).
+
+    Accesses are routed by base address — clean cuts guarantee no access
+    straddles a shard.  Sync and heap events are broadcast: sync keeps
+    every shard's happens-before state identical, and a broadcast free
+    clears the shadow state in whichever shards hold part of the block
+    (a no-op elsewhere).
+    """
+    span = DEFAULT_BATCH_SPAN if batch_span is None else batch_span
+    key = (plan.key(), bool(batched), span if batched else None)
+    cache = getattr(trace, "_shard_feeds", None)
+    if cache is None:
+        cache = trace._shard_feeds = {}
+    feeds = cache.get(key)
+    if feeds is not None:
+        return feeds
+    n = plan.shards
+    raw: List[List[tuple]] = [[] for _ in range(n)]
+    rawpos: List[List[int]] = [[] for _ in range(n)]
+    shard_of = plan.shard_of
+    for pos, ev in enumerate(trace.events):
+        if ev[0] <= WRITE:
+            k = shard_of(ev[2])
+            raw[k].append(ev)
+            rawpos[k].append(pos)
+        else:
+            for k in range(n):
+                raw[k].append(ev)
+                rawpos[k].append(pos)
+    if batched:
+        feeds = tuple(
+            coalesce_indexed(raw[k], rawpos[k], span) for k in range(n)
+        )
+    else:
+        feeds = tuple((raw[k], rawpos[k]) for k in range(n))
+    cache[key] = feeds
+    return feeds
+
+
+# ----------------------------------------------------------------------
+# journaled accounting (attached to worker detectors only)
+# ----------------------------------------------------------------------
+class _JournaledMemory(MemoryModel):
+    """Memory model that records every mutation with its global trace
+    position, so the merge can replay the k-way interleaving and
+    reconstruct exact peaks."""
+
+    __slots__ = ("journal", "posref")
+
+    def __init__(self, base: MemoryModel, posref: List[int]):
+        super().__init__(base.sizes)
+        self.current[:] = base.current
+        self.peak[:] = base.peak
+        self.total_peak = base.total_peak
+        self.journal: List[tuple] = []
+        self.posref = posref
+
+    def add(self, category: int, nbytes: int) -> None:
+        super().add(category, nbytes)
+        self.journal.append((self.posref[0], category, self.current[category]))
+
+    def sub(self, category: int, nbytes: int) -> None:
+        super().sub(category, nbytes)
+        self.journal.append((self.posref[0], category, self.current[category]))
+
+
+class _JournaledGroupStats(GroupStats):
+    """Group statistics that journal every live_clocks/live_bytes change
+    (the merge recomputes max_clocks and the at-peak sharing average from
+    the global interleaving; per-shard peaks are ignored)."""
+
+    __slots__ = ("journal", "posref")
+
+    def __init__(self, posref: List[int]):
+        object.__setattr__(self, "journal", [])
+        object.__setattr__(self, "posref", posref)
+        super().__init__()
+
+    def __setattr__(self, name, value):
+        object.__setattr__(self, name, value)
+        if name == "live_clocks" or name == "live_bytes":
+            self.journal.append(
+                (
+                    self.posref[0],
+                    getattr(self, "live_clocks", 0),
+                    getattr(self, "live_bytes", 0),
+                )
+            )
+
+
+def _attach_journals(det, family: str, posref: List[int]) -> dict:
+    """Swap journaled accounting objects into a *fresh* detector and
+    return the journal lists.  Zero-cost for normal (unsharded) runs —
+    the subclasses only exist on worker instances."""
+    if det.epoch_count != 1 or det.total_accesses != 0:
+        raise ShardError("shard detectors must be fresh (no events replayed)")
+    mem = _JournaledMemory(det.memory, posref)
+    det.memory = mem
+    journals = {"mem": mem.journal}
+    if family == "dynamic":
+        gs = _JournaledGroupStats(posref)
+        det.group_stats = gs
+        det._wg.stats = gs
+        det._rg.stats = gs
+        det._wg.memory = mem
+        det._rg.memory = mem
+        journals["gs"] = gs.journal
+    else:
+        det._vec_journal = vec = []
+        det._vec_pos = posref
+        journals["vec"] = vec
+    return journals
+
+
+# ----------------------------------------------------------------------
+# per-shard execution
+# ----------------------------------------------------------------------
+class _ShardRunner:
+    """One shard's detector plus the provenance the merge needs: journals,
+    position-stamped races, and epoch-boundary bitmap samples."""
+
+    def __init__(self, detector, family: str, shard: int,
+                 boundary_pages: Tuple[int, ...]):
+        self.det = detector
+        self.family = family
+        self.shard = shard
+        self.boundary_pages = boundary_pages
+        self.posref = [-1]
+        self.journals = _attach_journals(detector, family, self.posref)
+        self.mem_baseline = detector.memory.state()
+        self.races: List[tuple] = []  # (pos, RaceReport) in dispatch order
+        self._n_races = 0
+        #: (pos, {(tid, kind): (live_pages, {page: live_flag})}), one row
+        #: per epoch-resetting sync event plus one at finish
+        self.bitmap_rows: List[tuple] = []
+        self.finished = False
+
+    # -- bitmap sampling ------------------------------------------------
+    def _mark_bitmaps(self, pos: int) -> None:
+        det = self.det
+        row = {}
+        bpages = self.boundary_pages
+        for kind, table in (("r", det._read_seen), ("w", det._write_seen)):
+            for tid, bm in table.items():
+                flags = {p: bm.page_live(p) for p in bpages} if bpages else {}
+                row[(tid, kind)] = (bm.live_pages, flags)
+        self.bitmap_rows.append((pos, row))
+
+    # -- dispatch -------------------------------------------------------
+    def dispatch(self, ev: tuple, pos: int) -> None:
+        from repro.runtime.vm import dispatch_event
+
+        self.posref[0] = pos
+        op = ev[0]
+        if op == RELEASE or op == FORK or op == JOIN:
+            # Sample the per-thread bitmaps *before* the epoch reset:
+            # merged footprints are piecewise non-decreasing between
+            # resets, so pre-reset samples (plus finish) see every peak.
+            self._mark_bitmaps(pos)
+        dispatch_event(self.det, ev)
+        races = self.det.races
+        if len(races) != self._n_races:
+            for r in races[self._n_races:]:
+                self.races.append((pos, r))
+            self._n_races = len(races)
+
+    def finish(self, pos: int) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.posref[0] = pos
+        self._mark_bitmaps(pos)
+        self.det.finish()
+        races = self.det.races
+        if len(races) != self._n_races:
+            for r in races[self._n_races:]:
+                self.races.append((pos, r))
+            self._n_races = len(races)
+
+    # -- result extraction ---------------------------------------------
+    def result(self) -> dict:
+        det = self.det
+        return {
+            "shard": self.shard,
+            "stats": det.statistics(),
+            "races": [(pos, r.as_list()) for pos, r in self.races],
+            "mem_journal": self.journals["mem"],
+            "mem_baseline": self.mem_baseline,
+            "gs_journal": self.journals.get("gs"),
+            "vec_journal": self.journals.get("vec"),
+            "bitmap_rows": self.bitmap_rows,
+            "epoch_count": det.epoch_count,
+            "threads": det.n_threads,
+        }
+
+    # -- checkpoint serialization --------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "detector": self.det.snapshot_state(),
+            "mem_baseline": self.mem_baseline,
+            "mem_journal": [list(e) for e in self.journals["mem"]],
+            "gs_journal": (
+                [list(e) for e in self.journals["gs"]]
+                if "gs" in self.journals
+                else None
+            ),
+            "vec_journal": (
+                [list(e) for e in self.journals["vec"]]
+                if "vec" in self.journals
+                else None
+            ),
+            "races": [[pos, r.as_list()] for pos, r in self.races],
+            "bitmap_rows": [
+                [
+                    pos,
+                    [
+                        [tid, kind, live, [[p, bool(f)] for p, f in
+                                           sorted(flags.items())]]
+                        for (tid, kind), (live, flags) in sorted(row.items())
+                    ],
+                ]
+                for pos, row in self.bitmap_rows
+            ],
+            "finished": self.finished,
+        }
+
+    def restore(self, state: dict) -> None:
+        # Restore the detector first: journaled setattr/add hooks fire
+        # during restore, then the journals are overwritten wholesale.
+        self.det.restore_state(state["detector"])
+        self.mem_baseline = state["mem_baseline"]
+        self.journals["mem"][:] = [tuple(e) for e in state["mem_journal"]]
+        if "gs" in self.journals and state["gs_journal"] is not None:
+            self.journals["gs"][:] = [tuple(e) for e in state["gs_journal"]]
+        if "vec" in self.journals and state["vec_journal"] is not None:
+            self.journals["vec"][:] = [tuple(e) for e in state["vec_journal"]]
+        self.races = [
+            (pos, RaceReport.from_list(r)) for pos, r in state["races"]
+        ]
+        self._n_races = len(self.det.races)
+        self.bitmap_rows = [
+            (
+                pos,
+                {
+                    (tid, kind): (live, {p: bool(f) for p, f in flags})
+                    for tid, kind, live, flags in row
+                },
+            )
+            for pos, row in state["bitmap_rows"]
+        ]
+        self.finished = state["finished"]
+
+
+def _shard_worker(payload) -> dict:
+    """Worker-process entry: replay one shard's feed and return the
+    merge inputs.  Module-level so spawn-based multiprocessing can
+    import it."""
+    blob, shard, feed, positions, boundary_pages, family, total = payload
+    detector = pickle.loads(blob)
+    runner = _ShardRunner(detector, family, shard, boundary_pages)
+    dispatch = runner.dispatch
+    for ev, pos in zip(feed, positions):
+        dispatch(ev, pos)
+    runner.finish(total)
+    return runner.result()
+
+
+# ----------------------------------------------------------------------
+# deterministic merge
+# ----------------------------------------------------------------------
+_ADDITIVE_KEYS = frozenset(
+    (
+        "locations",
+        "same_epoch_hits",
+        "unit_fast_hits",
+        "checked_accesses",
+        "total_accesses",
+        "vc_allocs",
+        "groups_created",
+        "merges",
+        "splits",
+    )
+)
+_REPLAYED_KEYS = frozenset(
+    ("same_epoch_pct", "max_vectors", "avg_sharing", "memory")
+)
+
+
+def _merge_races(results) -> List[RaceReport]:
+    """Global race order: by position of the event (or the coalesced
+    run's first member) that produced the report, then shard, then
+    per-shard sequence.  Accesses are partitioned, so at any one
+    position at most one shard reports — the shard tiebreak only orders
+    reports that the unsharded run could not produce together."""
+    keyed = []
+    for k, r in enumerate(results):
+        for seq, (pos, data) in enumerate(r["races"]):
+            keyed.append((pos, k, seq, data))
+    keyed.sort(key=lambda t: (t[0], t[1], t[2]))
+    return [RaceReport.from_list(d) for _, _, _, d in keyed]
+
+
+def _merge_bitmap_pages(results, plan: ShardPlan) -> int:
+    """Merged ``pages_touched_peak`` sum across (tid, kind) bitmaps.
+
+    Rows align across shards (sync events are broadcast, so every shard
+    samples at the same positions).  A 4 KiB page split by a cut is live
+    in up to ``len(owners)`` shards but counts once in the unsharded
+    run; the per-row correction subtracts the overlap.
+    """
+    straddled = plan.straddled_pages()
+    n_rows = {len(r["bitmap_rows"]) for r in results}
+    if len(n_rows) != 1:
+        raise ShardMergeError(
+            f"bitmap sample row counts diverged across shards: {sorted(n_rows)}"
+        )
+    peaks: Dict[tuple, int] = {}
+    for i in range(n_rows.pop()):
+        pos0 = None
+        totals: Dict[tuple, int] = {}
+        live_count: Dict[tuple, Dict[int, int]] = {}
+        for r in results:
+            pos, row = r["bitmap_rows"][i]
+            if pos0 is None:
+                pos0 = pos
+            elif pos != pos0:
+                raise ShardMergeError(
+                    f"bitmap sample positions diverged: {pos} != {pos0}"
+                )
+            for key, (n_live, flags) in row.items():
+                totals[key] = totals.get(key, 0) + n_live
+                if flags:
+                    d = live_count.setdefault(key, {})
+                    for p, f in flags.items():
+                        if f:
+                            d[p] = d.get(p, 0) + 1
+        for key, total in totals.items():
+            for p, cnt in live_count.get(key, {}).items():
+                if cnt > 1 and p in straddled:
+                    total -= cnt - 1
+            if total > peaks.get(key, 0):
+                peaks[key] = total
+    return sum(peaks.values())
+
+
+def _replay_memory(results, sizes: SizeModel, bitmap_bytes: int) -> dict:
+    """Exact merged memory snapshot: replay every shard's accounting
+    mutations in global order.  The shared baseline (the detectors'
+    identical init-time hash charge) is counted once; the workers' own
+    finish-time BITMAP charges are dropped and replaced by one merged
+    charge computed from the aligned bitmap samples."""
+    base = results[0]["mem_baseline"]
+    for r in results[1:]:
+        if r["mem_baseline"] != base:
+            raise ShardMergeError("shard memory baselines diverged")
+    current = list(base["current"])
+    peak = list(base["peak"])
+    total_peak = base["total_peak"]
+    prev = [list(base["current"]) for _ in results]
+    entries = []
+    for k, r in enumerate(results):
+        for seq, (pos, cat, value) in enumerate(r["mem_journal"]):
+            entries.append((pos, k, seq, cat, value))
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+    for pos, k, seq, cat, value in entries:
+        if cat == BITMAP:
+            prev[k][cat] = value
+            continue
+        delta = value - prev[k][cat]
+        prev[k][cat] = value
+        cur = current[cat] = current[cat] + delta
+        if delta > 0:
+            if cur > peak[cat]:
+                peak[cat] = cur
+            tot = current[0] + current[1] + current[2]
+            if tot > total_peak:
+                total_peak = tot
+    current[BITMAP] += bitmap_bytes
+    if current[BITMAP] > peak[BITMAP]:
+        peak[BITMAP] = current[BITMAP]
+    tot = current[0] + current[1] + current[2]
+    if tot > total_peak:
+        total_peak = tot
+    return {
+        "current": dict(zip(CATEGORY_NAMES, current)),
+        "peak": dict(zip(CATEGORY_NAMES, peak)),
+        "total_peak": total_peak,
+    }
+
+
+def _replay_group_stats(results) -> Tuple[int, float]:
+    """Merged (max_clocks, avg_sharing_at_peak) from the group-stats
+    journals.  The unsharded detector bumps its peak whenever the live
+    clock count increases, recording the bytes/clocks ratio at that
+    instant — the replay reproduces both exactly."""
+    entries = []
+    for k, r in enumerate(results):
+        for seq, (pos, lc, lb) in enumerate(r["gs_journal"]):
+            entries.append((pos, k, seq, lc, lb))
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+    prev = [(0, 0) for _ in results]
+    live_c = live_b = 0
+    max_c = 0
+    avg = 0.0
+    for pos, k, seq, lc, lb in entries:
+        plc, plb = prev[k]
+        prev[k] = (lc, lb)
+        live_c += lc - plc
+        live_b += lb - plb
+        if lc > plc and live_c > max_c:
+            max_c = live_c
+            avg = live_b / live_c if live_c else 0.0
+    return max_c, avg
+
+
+def _replay_vectors(results) -> int:
+    """Merged ``max_vectors`` for the fixed family from the live-vector
+    journals."""
+    entries = []
+    for k, r in enumerate(results):
+        for seq, (pos, value) in enumerate(r["vec_journal"]):
+            entries.append((pos, k, seq, value))
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+    prev = [0] * len(results)
+    live = 0
+    max_v = 0
+    for pos, k, seq, value in entries:
+        live += value - prev[k]
+        prev[k] = value
+        if live > max_v:
+            max_v = live
+    return max_v
+
+
+def merge_shards(results, plan: ShardPlan, sizes: SizeModel):
+    """Merge per-shard results into ``(races, stats)`` equal to the
+    unsharded run's."""
+    if not results:
+        raise ShardMergeError("no shard results to merge")
+    results = sorted(results, key=lambda r: r["shard"])
+    vals = {r["epoch_count"] for r in results}
+    if len(vals) != 1:
+        raise ShardMergeError(
+            f"epoch_count diverged across shards: {sorted(vals)} — sync "
+            "broadcast must keep runtime state identical"
+        )
+    # Thread counts may legitimately differ: a thread with no sync and
+    # no fork event (minimized traces) is only ever seen by the shard
+    # owning its accesses.  The unsharded detector's count is the max.
+    n_threads = max(r["threads"] for r in results)
+    races = _merge_races(results)
+    first = results[0]["stats"]
+    stats: Dict[str, object] = {}
+    for key, value in first.items():
+        if key in _ADDITIVE_KEYS:
+            stats[key] = sum(r["stats"][key] for r in results)
+        elif key == "threads":
+            stats[key] = n_threads
+        elif key in _REPLAYED_KEYS:
+            stats[key] = None  # placeholder, filled below (keeps key order)
+        else:
+            raise ShardMergeError(
+                f"statistics key {key!r} has no merge rule — update "
+                "repro.perf.parallel alongside detector statistics()"
+            )
+    total = stats.get("total_accesses", 0)
+    hits = stats.get("same_epoch_hits", 0)
+    stats["same_epoch_pct"] = 100.0 * hits / total if total else 0.0
+    bitmap_bytes = _merge_bitmap_pages(results, plan) * sizes.bitmap_page
+    stats["memory"] = _replay_memory(results, sizes, bitmap_bytes)
+    if results[0]["gs_journal"] is not None:
+        max_c, avg = _replay_group_stats(results)
+        stats["max_vectors"] = max_c
+        stats["avg_sharing"] = avg
+    else:
+        stats["max_vectors"] = _replay_vectors(results)
+    return races, stats
+
+
+# ----------------------------------------------------------------------
+# in-process adapter (serial path + resumable sessions)
+# ----------------------------------------------------------------------
+class ShardedDetector:
+    """Drop-in detector that partitions the shadow space across N inner
+    detectors and merges their outputs deterministically.
+
+    Implements the full callback interface, so the existing replay loop,
+    dispatch helper and resumable sessions drive it unchanged.  Accesses
+    route to the owning shard; coalesced runs are split at shard
+    boundaries (clean cuts guarantee the split lands on member-access
+    boundaries, and ranged dispatch is piecewise-equivalent to
+    per-access dispatch); sync and heap events broadcast.
+    """
+
+    def __init__(self, prototype, plan: ShardPlan):
+        if plan.shards < 2:
+            raise ShardError(
+                "ShardedDetector needs an effective shard count >= 2 "
+                "(use plain replay for one shard)"
+            )
+        self.plan = plan
+        self.family = _detector_family(prototype)
+        self.name = prototype.name
+        self.sizes = prototype.memory.sizes
+        self._runners = [
+            _ShardRunner(
+                copy.deepcopy(prototype), self.family, k, plan.boundary_pages(k)
+            )
+            for k in range(plan.shards)
+        ]
+        self._pos = -1
+        #: merged race reports, maintained in dispatch (= global) order
+        self.races: List[RaceReport] = []
+        self._drained = [0] * plan.shards
+        self._finished = False
+        self._stats: Optional[dict] = None
+
+    # -- helpers --------------------------------------------------------
+    def _drain(self, runner: _ShardRunner) -> None:
+        n = self._drained[runner.shard]
+        rr = runner.races
+        if len(rr) > n:
+            for _pos, race in rr[n:]:
+                self.races.append(race)
+            self._drained[runner.shard] = len(rr)
+
+    def _access(self, op: int, tid: int, addr: int, size: int, site: int) -> None:
+        self._pos += 1
+        runner = self._runners[self.plan.shard_of(addr)]
+        runner.dispatch((op, tid, addr, size, site), self._pos)
+        self._drain(runner)
+
+    def _access_batch(
+        self, op: int, tid: int, addr: int, size: int, width: int, site: int
+    ) -> None:
+        self._pos += 1
+        pos = self._pos
+        plan = self.plan
+        end = addr + size
+        k = plan.shard_of(addr)
+        if plan.shard_of(end - 1) == k and (
+            plan.strategy == "ranges" or size <= (1 << _PAGE_SHIFT)
+        ):
+            runner = self._runners[k]
+            runner.dispatch((op, tid, addr, size, site, width), pos)
+            self._drain(runner)
+            return
+        a = addr
+        while a < end:
+            k = plan.shard_of(a)
+            hi = plan.piece_end(a, end, k)
+            if hi - a > width:
+                ev = (op, tid, a, hi - a, site, width)
+            else:
+                ev = (op, tid, a, hi - a, site)
+            runner = self._runners[k]
+            runner.dispatch(ev, pos)
+            self._drain(runner)
+            a = hi
+
+    def _broadcast(self, ev: tuple) -> None:
+        self._pos += 1
+        pos = self._pos
+        for runner in self._runners:
+            runner.dispatch(ev, pos)
+
+    # -- detector interface --------------------------------------------
+    def on_read(self, tid, addr, size, site=0):
+        self._access(READ, tid, addr, size, site)
+
+    def on_write(self, tid, addr, size, site=0):
+        self._access(WRITE, tid, addr, size, site)
+
+    def on_read_batch(self, tid, addr, size, width, site=0):
+        self._access_batch(READ, tid, addr, size, width, site)
+
+    def on_write_batch(self, tid, addr, size, width, site=0):
+        self._access_batch(WRITE, tid, addr, size, width, site)
+
+    def on_acquire(self, tid, sync_id, is_lock=1):
+        self._broadcast((ACQUIRE, tid, sync_id, is_lock, 0))
+
+    def on_release(self, tid, sync_id, is_lock=1):
+        self._broadcast((RELEASE, tid, sync_id, is_lock, 0))
+
+    def on_fork(self, tid, child_tid):
+        self._broadcast((FORK, tid, child_tid, 0, 0))
+
+    def on_join(self, tid, target_tid):
+        self._broadcast((JOIN, tid, target_tid, 0, 0))
+
+    def on_alloc(self, tid, addr, size):
+        self._broadcast((ALLOC, tid, addr, size, 0))
+
+    def on_free(self, tid, addr, size):
+        self._broadcast((FREE, tid, addr, size, 0))
+
+    def finish(self):
+        if self._finished:
+            return
+        self._finished = True
+        pos = self._pos + 1
+        for runner in self._runners:
+            runner.finish(pos)
+            self._drain(runner)
+        races, stats = merge_shards(
+            [r.result() for r in self._runners], self.plan, self.sizes
+        )
+        # The incrementally drained list is already in global order; the
+        # canonical merge must agree with it (same positions, one shard
+        # active per access position).
+        if [r.as_list() for r in races] != [r.as_list() for r in self.races]:
+            raise ShardMergeError(
+                "incremental and merged race orders diverged"
+            )
+        self.races = races
+        stats["shards"] = self._shards_section("serial")
+        self._stats = stats
+
+    def _shards_section(self, mode: str) -> dict:
+        plan = self.plan
+        return {
+            "requested": plan.requested,
+            "effective": plan.shards,
+            "strategy": plan.strategy,
+            "cuts": list(plan.cuts),
+            "mode": mode,
+        }
+
+    def statistics(self) -> dict:
+        if not self._finished:
+            raise ShardError("ShardedDetector.statistics() requires finish()")
+        if self._stats is None:  # restored from a finished checkpoint
+            _races, stats = merge_shards(
+                [r.result() for r in self._runners], self.plan, self.sizes
+            )
+            stats["shards"] = self._shards_section("serial")
+            self._stats = stats
+        return self._stats
+
+    # -- passthroughs used by sessions/supervisors ----------------------
+    @property
+    def reported_racy(self) -> frozenset:
+        out: set = set()
+        for runner in self._runners:
+            out |= runner.det.reported_racy
+        return frozenset(out)
+
+    @property
+    def epoch_count(self) -> int:
+        return self._runners[0].det.epoch_count
+
+    @property
+    def n_threads(self) -> int:
+        # Max, not shard 0's view: a forkless, sync-less thread is only
+        # known to the shard owning its accesses (see merge_shards).
+        return max(runner.det.n_threads for runner in self._runners)
+
+    # -- checkpoint serialization --------------------------------------
+    def snapshot_state(self) -> dict:
+        """All shard states in one manifest payload, plus the adapter's
+        own merge provenance (position cursor, drained races)."""
+        return {
+            "kind": "sharded",
+            "plan": [
+                self.plan.requested,
+                self.plan.strategy,
+                self.plan.family,
+                list(self.plan.cuts),
+            ],
+            "pos": self._pos,
+            "finished": self._finished,
+            "races": [r.as_list() for r in self.races],
+            "drained": list(self._drained),
+            "shards": [runner.snapshot() for runner in self._runners],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "sharded":
+            raise ValueError(
+                f"cannot restore {state.get('kind')!r} state into a "
+                "sharded detector"
+            )
+        req, strategy, family, cuts = state["plan"]
+        if (req, strategy, family, tuple(cuts)) != self.plan.key():
+            raise ValueError(
+                f"checkpoint shard plan {(req, strategy, family, cuts)} != "
+                f"current plan {self.plan.key()}"
+            )
+        if len(state["shards"]) != len(self._runners):
+            raise ValueError("checkpoint shard count mismatch")
+        for runner, shard_state in zip(self._runners, state["shards"]):
+            runner.restore(shard_state)
+        self._pos = state["pos"]
+        self._finished = state["finished"]
+        self.races = [RaceReport.from_list(r) for r in state["races"]]
+        self._drained = list(state["drained"])
+        self._stats = None
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def sharded_replay(
+    trace,
+    detector,
+    shards: int,
+    strategy: str = "ranges",
+    batched: bool = False,
+    batch_span: Optional[int] = None,
+    processes: int = 0,
+):
+    """Replay ``trace`` through ``detector`` sharded ``shards`` ways.
+
+    ``processes=0`` runs every shard in-process through
+    :class:`ShardedDetector` (deterministic, no IPC — the default and
+    the debug path).  ``processes>0`` dispatches shards to that many
+    worker processes; per-shard feeds are precomputed (and cached on the
+    trace) outside the timed region, mirroring how the global coalesced
+    feed is cached, while the measured wall time covers worker dispatch,
+    detection, result transfer and the merge.
+
+    Either way the merged result is equivalent to
+    ``replay(trace, detector, ...)`` — byte-identical races, statistics
+    and memory accounting — with an extra ``stats["shards"]`` section
+    describing the plan.  The ``detector`` argument is used as a
+    prototype (deep-copied / pickled per shard) and is left untouched
+    when the effective shard count exceeds one.
+    """
+    from repro.runtime.vm import ReplayResult, replay
+
+    plan = plan_for(trace, shards, detector, strategy)
+    if plan.shards == 1:
+        result = replay(trace, detector, batched=batched, batch_span=batch_span)
+        result.stats["shards"] = {
+            "requested": shards,
+            "effective": 1,
+            "strategy": strategy,
+            "cuts": [],
+            "mode": "serial",
+        }
+        return result
+
+    if not processes:
+        sharded = ShardedDetector(detector, plan)
+        return replay(trace, sharded, batched=batched, batch_span=batch_span)
+
+    # -- process mode ---------------------------------------------------
+    feeds = shard_feeds(trace, plan, batched, batch_span)
+    try:
+        blob = pickle.dumps(detector)
+    except Exception as exc:
+        raise ShardError(
+            f"detector {detector.name!r} cannot be pickled for "
+            f"process-mode sharding ({exc}); run with processes=0"
+        ) from exc
+    total = len(trace.events)
+    payloads = [
+        (blob, k, feeds[k][0], feeds[k][1], plan.boundary_pages(k),
+         plan.family, total)
+        for k in range(plan.shards)
+    ]
+
+    import multiprocessing as mp
+
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = mp.get_context()
+    n_procs = min(int(processes), plan.shards)
+    with ctx.Pool(n_procs) as pool:
+        t0 = time.perf_counter()
+        results = pool.map(_shard_worker, payloads)
+        races, stats = merge_shards(results, plan, detector.memory.sizes)
+        wall = time.perf_counter() - t0
+    stats["shards"] = {
+        "requested": plan.requested,
+        "effective": plan.shards,
+        "strategy": plan.strategy,
+        "cuts": list(plan.cuts),
+        "mode": "processes",
+        "processes": n_procs,
+    }
+    return ReplayResult(
+        detector_name=detector.name,
+        trace_name=trace.name,
+        events=len(trace),
+        wall_time=wall,
+        races=races,
+        stats=stats,
+        # Broadcast events are dispatched once per shard; the sum is the
+        # true number of callbacks performed across workers.
+        dispatched=sum(len(f[0]) for f in feeds),
+    )

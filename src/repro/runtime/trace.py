@@ -40,6 +40,12 @@ class Trace:
         # replayed many times — once per detector — so the one-pass
         # coalescing cost is paid once and amortized).
         self._coalesced: Dict[int, List[tuple]] = {}
+        # Sharded-replay caches (repro.perf.parallel): cut plans keyed
+        # by (shards, strategy, family) and per-shard event feeds keyed
+        # by (plan key, batched, span).  Like the coalesced feeds they
+        # are derived data — subset()/save() ignore them.
+        self._shard_plans: Dict[tuple, object] = {}
+        self._shard_feeds: Dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

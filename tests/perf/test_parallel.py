@@ -1,0 +1,388 @@
+"""Unit tests for the sharded detection pipeline (repro.perf.parallel)."""
+
+import pytest
+
+from repro.core.config import DynamicConfig
+from repro.core.detector import DynamicGranularityDetector
+from repro.detectors.registry import create_detector
+from repro.perf.batch import coalesce_events, coalesce_indexed
+from repro.perf.parallel import (
+    CUT_ALIGN,
+    ShardError,
+    ShardMergeError,
+    ShardPlan,
+    ShardPlanError,
+    ShardedDetector,
+    plan_for,
+    plan_shards,
+    shard_feeds,
+    sharded_replay,
+)
+from repro.recovery.checkpoint import CheckpointError, validate_manifest
+from repro.runtime.events import ACQUIRE, READ, RELEASE, WRITE
+from repro.runtime.trace import Trace
+from repro.runtime.vm import replay
+from repro.workloads.registry import build_trace
+
+
+def _race_keys(races):
+    return [r.as_list() for r in races]
+
+
+def _stats_sans_shards(stats):
+    return {k: v for k, v in stats.items() if k != "shards"}
+
+
+def _trace(events, n_threads=2, name="t"):
+    return Trace(list(events), name=name, n_threads=n_threads)
+
+
+# ----------------------------------------------------------------------
+# coalesce_indexed: provenance + the global-adjacency rule
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload", ("streamcluster", "pbzip2", "dedup"))
+def test_indexed_coalescing_matches_plain_on_gap_free_input(workload):
+    trace = build_trace(workload, scale=0.15, seed=1)
+    feed, positions = coalesce_indexed(
+        trace.events, list(range(len(trace.events)))
+    )
+    assert feed == coalesce_events(trace.events)
+    assert positions == sorted(positions)
+    assert len(positions) == len(feed)
+
+
+def test_position_gap_flushes_pending_runs():
+    events = [
+        (WRITE, 1, 0x100, 4, 7),
+        (WRITE, 1, 0x104, 4, 7),
+        (WRITE, 1, 0x108, 4, 7),
+    ]
+    # Consecutive positions: one merged run.
+    feed, pos = coalesce_indexed(events, [0, 1, 2])
+    assert feed == [(WRITE, 1, 0x100, 12, 7, 4)]
+    assert pos == [0]
+    # A gap (another shard consumed position 2): the run may not span it
+    # even though the shard-local stream looks adjacent.
+    feed, pos = coalesce_indexed(events, [0, 1, 5])
+    assert feed == [(WRITE, 1, 0x100, 8, 7, 4), (WRITE, 1, 0x108, 4, 7)]
+    assert pos == [0, 5]
+
+
+def test_run_positions_are_first_member_positions():
+    events = [
+        (WRITE, 1, 0x100, 4, 7),
+        (WRITE, 1, 0x104, 4, 7),
+        (ACQUIRE, 1, 9, 1, 0),
+        (READ, 1, 0x200, 4, 8),
+        (READ, 1, 0x204, 4, 8),
+    ]
+    feed, pos = coalesce_indexed(events, [10, 11, 12, 13, 14])
+    assert feed == [
+        (WRITE, 1, 0x100, 8, 7, 4),
+        (ACQUIRE, 1, 9, 1, 0),
+        (READ, 1, 0x200, 8, 8, 4),
+    ]
+    assert pos == [10, 12, 13]
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+
+def test_range_cuts_are_aligned_and_sorted():
+    trace = build_trace("dedup", scale=0.3, seed=1)
+    for det_name in ("fasttrack-byte", "dynamic"):
+        plan = plan_shards(trace, 4, create_detector(det_name))
+        assert plan.strategy == "ranges"
+        assert 1 <= plan.shards <= 4
+        assert list(plan.cuts) == sorted(plan.cuts)
+        assert all(c % CUT_ALIGN == 0 for c in plan.cuts)
+
+
+def test_straddling_access_dirties_the_cut():
+    # Two well-separated regions; the second starts at a 128-aligned
+    # address, so its base is the natural cut — unless an access
+    # straddles it.
+    lo, hi = 0x1000, 0x2000
+    clean = [(WRITE, 1, lo + 4 * i, 4, 7) for i in range(8)]
+    clean += [(WRITE, 1, hi + 4 * i, 4, 7) for i in range(8)]
+    plan = plan_shards(_trace(clean), 2, create_detector("fasttrack-byte"))
+    assert plan.cuts == (hi,)
+    dirty = clean + [(WRITE, 1, hi - 2, 4, 7)]  # spans the boundary
+    plan = plan_shards(_trace(dirty), 2, create_detector("fasttrack-byte"))
+    assert hi not in plan.cuts
+
+
+def test_shared_write_signature_blocks_dynamic_cut_but_not_fixed():
+    # The same (tid, epoch) writes both sides of the candidate cut, so
+    # the dynamic detector could merge the two granules into one group;
+    # fixed granularity has no cross-unit state and may still cut.
+    hi = 0x2000
+    events = [(WRITE, 1, hi - 32 + 4 * i, 4, 7) for i in range(8)]
+    events += [(WRITE, 1, hi + 4 * i, 4, 7) for i in range(8)]
+    events += [(WRITE, 2, 0x1000, 4, 9), (WRITE, 2, 0x3000, 4, 9)]
+    fixed = plan_shards(_trace(events), 2, create_detector("fasttrack-byte"))
+    dyn = plan_shards(_trace(events), 2, create_detector("dynamic"))
+    assert hi not in dyn.cuts
+    assert any(c % CUT_ALIGN == 0 for c in fixed.cuts) or fixed.shards == 1
+
+
+def test_release_separated_writes_allow_dynamic_cut():
+    # Same thread, both sides of the cut, but in different epochs: the
+    # write signatures of the adjacent granules are disjoint, so the
+    # dynamic family can cut between the regions.
+    hi = 0x2000
+    events = [(WRITE, 1, hi - 32 + 4 * i, 4, 7) for i in range(8)]
+    events += [(RELEASE, 1, 5, 1, 0)]
+    events += [(WRITE, 1, hi + 4 * i, 4, 7) for i in range(8)]
+    plan = plan_shards(_trace(events), 2, create_detector("dynamic"))
+    assert plan.cuts == (hi,)
+
+
+def test_oversized_neighbor_scan_refuses_to_shard():
+    det = DynamicGranularityDetector(
+        config=DynamicConfig(neighbor_scan_limit=32)
+    )
+    trace = build_trace("streamcluster", scale=0.1, seed=1)
+    with pytest.raises(ShardPlanError):
+        plan_shards(trace, 2, det)
+
+
+def test_unsupported_detector_family_raises():
+    trace = build_trace("streamcluster", scale=0.1, seed=1)
+    with pytest.raises(ShardError):
+        plan_shards(trace, 2, create_detector("eraser"))
+
+
+def test_pages_strategy_is_fixed_family_only():
+    trace = build_trace("streamcluster", scale=0.1, seed=1)
+    with pytest.raises(ShardPlanError):
+        plan_shards(trace, 2, create_detector("dynamic"), strategy="pages")
+
+
+def test_pages_strategy_hashes_pages():
+    events = [(WRITE, 1, 0x1000 * i + 16, 4, 7) for i in range(8)]
+    plan = plan_shards(
+        _trace(events), 3, create_detector("fasttrack-byte"), strategy="pages"
+    )
+    assert plan.shards == 3
+    for addr in (0x1010, 0x5400, 0x913000):
+        assert plan.shard_of(addr) == (addr >> 12) % 3
+
+
+def test_page_straddling_access_refuses_pages_strategy():
+    events = [(WRITE, 1, 0x1FFE, 8, 7)]
+    with pytest.raises(ShardPlanError):
+        plan_shards(
+            _trace(events), 2, create_detector("fasttrack-byte"),
+            strategy="pages",
+        )
+
+
+def test_plan_cache_is_per_key():
+    trace = build_trace("streamcluster", scale=0.1, seed=1)
+    det = create_detector("fasttrack-byte")
+    assert plan_for(trace, 4, det) is plan_for(trace, 4, det)
+    assert plan_for(trace, 4, det) is not plan_for(trace, 2, det)
+
+
+# ----------------------------------------------------------------------
+# feed splitting
+# ----------------------------------------------------------------------
+
+def test_shard_feeds_partition_accesses_and_broadcast_sync():
+    trace = build_trace("pbzip2", scale=0.15, seed=1)
+    plan = plan_for(trace, 4, create_detector("fasttrack-byte"))
+    assert plan.shards >= 2
+    feeds = shard_feeds(trace, plan, batched=False)
+    n_access = sum(1 for ev in trace.events if ev[0] <= WRITE)
+    n_other = len(trace.events) - n_access
+    got_access = 0
+    for k, (feed, positions) in enumerate(feeds):
+        assert len(feed) == len(positions)
+        assert positions == sorted(positions)
+        for ev, _pos in zip(feed, positions):
+            if ev[0] <= WRITE:
+                got_access += 1
+                assert plan.shard_of(ev[2]) == k
+    assert got_access == n_access
+    assert sum(len(f) for f, _p in feeds) == n_access + plan.shards * n_other
+
+
+# ----------------------------------------------------------------------
+# the sharded adapter + merge
+# ----------------------------------------------------------------------
+
+def test_sharded_detector_needs_two_effective_shards():
+    plan = ShardPlan(requested=2, strategy="ranges", family="fixed", cuts=())
+    with pytest.raises(ShardError):
+        ShardedDetector(create_detector("fasttrack-byte"), plan)
+
+
+def test_statistics_requires_finish():
+    plan = ShardPlan(
+        requested=2, strategy="ranges", family="fixed", cuts=(0x2000,)
+    )
+    det = ShardedDetector(create_detector("fasttrack-byte"), plan)
+    with pytest.raises(ShardError):
+        det.statistics()
+
+
+@pytest.mark.parametrize("batched", (False, True), ids=("event", "batched"))
+def test_serial_sharding_is_byte_identical(batched):
+    trace = build_trace("dedup", scale=0.15, seed=1)
+    for det_name in ("fasttrack-byte", "dynamic"):
+        base = replay(trace, create_detector(det_name), batched=batched)
+        res = sharded_replay(
+            trace, create_detector(det_name), 4, batched=batched
+        )
+        assert _race_keys(res.races) == _race_keys(base.races)
+        assert _stats_sans_shards(res.stats) == base.stats
+        assert res.stats["shards"]["mode"] == "serial"
+
+
+def test_process_mode_is_byte_identical():
+    trace = build_trace("streamcluster", scale=0.15, seed=1)
+    base = replay(trace, create_detector("fasttrack-byte"), batched=True)
+    res = sharded_replay(
+        trace,
+        create_detector("fasttrack-byte"),
+        4,
+        batched=True,
+        processes=2,
+    )
+    assert _race_keys(res.races) == _race_keys(base.races)
+    assert _stats_sans_shards(res.stats) == base.stats
+    sec = res.stats["shards"]
+    assert sec["mode"] == "processes"
+    # Broadcast sync/heap events dispatch once per shard.
+    assert res.dispatched >= base.dispatched
+
+
+def test_requested_one_shard_falls_back_to_plain_replay():
+    trace = build_trace("streamcluster", scale=0.1, seed=1)
+    res = sharded_replay(trace, create_detector("fasttrack-byte"), 1)
+    assert res.stats["shards"] == {
+        "requested": 1,
+        "effective": 1,
+        "strategy": "ranges",
+        "cuts": [],
+        "mode": "serial",
+    }
+
+
+def test_merge_rejects_unknown_stat_keys():
+    from repro.perf.parallel import merge_shards
+
+    trace = build_trace("streamcluster", scale=0.1, seed=1)
+    det = create_detector("fasttrack-byte")
+    plan = plan_for(trace, 2, det)
+    if plan.shards < 2:
+        pytest.skip("no safe cut at this scale")
+    sharded = ShardedDetector(det, plan)
+    replay(trace, sharded)
+    results = [r.result() for r in sharded._runners]
+    for r in results:
+        r["stats"]["brand_new_counter"] = 1
+    with pytest.raises(ShardMergeError):
+        merge_shards(results, plan, det.memory.sizes)
+
+
+# ----------------------------------------------------------------------
+# sessions + checkpoints
+# ----------------------------------------------------------------------
+
+def test_sharded_session_survives_kill_and_stays_identical(tmp_path):
+    from repro.recovery.session import DetectionSession, Supervisor
+
+    trace = build_trace("streamcluster", scale=0.15, seed=1)
+    base = DetectionSession(
+        trace, "fasttrack-byte",
+        checkpoint_dir=str(tmp_path / "base"), checkpoint_every=2000,
+    ).run()
+    sess = DetectionSession(
+        trace, "fasttrack-byte",
+        checkpoint_dir=str(tmp_path / "sharded"), checkpoint_every=2000,
+        shards=4, kills=[2500],
+    )
+    res = Supervisor(sess).run()
+    assert res.stats["recovery"]["resumes"] == 1
+    assert _race_keys(res.races) == _race_keys(base.races)
+    bs = dict(base.stats)
+    bs.pop("recovery")
+    ss = _stats_sans_shards(res.stats)
+    ss.pop("recovery")
+    assert ss == bs
+
+
+def test_sharded_session_forbids_shadow_budget(tmp_path):
+    from repro.recovery.session import DetectionSession
+
+    trace = build_trace("streamcluster", scale=0.1, seed=1)
+    with pytest.raises(ValueError):
+        DetectionSession(
+            trace, "fasttrack-byte", checkpoint_dir=str(tmp_path),
+            shards=4, shadow_budget=100,
+        )
+
+
+def test_manifest_shard_count_mismatch_is_a_checkpoint_error():
+    manifest = {
+        "trace_digest": "d", "detector": "fasttrack-byte",
+        "batched": False, "batch_span": None, "shards": 4,
+    }
+    validate_manifest(
+        manifest, path="x", trace_digest="d", detector="fasttrack-byte",
+        batched=False, batch_span=None, shards=4,
+    )
+    with pytest.raises(CheckpointError):
+        validate_manifest(
+            manifest, path="x", trace_digest="d", detector="fasttrack-byte",
+            batched=False, batch_span=None, shards=1,
+        )
+    # Pre-sharding manifests imply one shard.
+    del manifest["shards"]
+    validate_manifest(
+        manifest, path="x", trace_digest="d", detector="fasttrack-byte",
+        batched=False, batch_span=None, shards=1,
+    )
+
+
+def test_restore_rejects_foreign_plan():
+    trace = build_trace("streamcluster", scale=0.15, seed=1)
+    det = create_detector("fasttrack-byte")
+    plan = plan_for(trace, 4, det)
+    sharded = ShardedDetector(det, plan)
+    state = sharded.snapshot_state()
+    state["plan"][3] = [0x42 * CUT_ALIGN]
+    with pytest.raises(ValueError):
+        ShardedDetector(create_detector("fasttrack-byte"), plan).restore_state(
+            state
+        )
+
+
+# ----------------------------------------------------------------------
+# bench surface
+# ----------------------------------------------------------------------
+
+def test_bench_history_line_shape(tmp_path):
+    from repro.perf.bench import HISTORY_SCHEMA, append_history, run_bench
+
+    result = run_bench(
+        workloads=["streamcluster"],
+        detectors=["fasttrack-byte"],
+        scale=0.1,
+        repeats=1,
+        shards=2,
+    )
+    path = tmp_path / "hist.jsonl"
+    line = append_history(result, str(path))
+    assert line["schema"] == HISTORY_SCHEMA
+    assert line["git_rev"]
+    assert line["divergences"] == 0
+    (row,) = line["rows"]
+    assert row["workload"] == "streamcluster"
+    assert row["events_per_sec"] > 0
+    assert "2" in row["sharded"]
+    assert path.read_text().count("\n") == 1

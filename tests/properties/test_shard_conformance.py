@@ -1,0 +1,58 @@
+"""Conformance property: sharded detection is invisible in the output.
+
+For every registered workload, five schedule seeds and shard counts
+1, 2, 4 and 7, replaying through the sharded pipeline must produce
+**byte-identical** races and statistics to the unsharded detector —
+for both granularity families (fixed byte FastTrack and dynamic
+granularity) and under both dispatch modes (per-access and batched).
+
+This is the enforcement side of the safe-cut and deterministic-merge
+arguments in ``repro/perf/parallel.py`` (docs/ALGORITHM.md §11): cuts
+land only where no detector state, race attribution or accounting can
+cross the boundary, and the k-way positional merge reconstructs the
+exact single-detector result — including peak memory accounting and
+at-peak averages.  Shard count 7 is deliberately not a power of two
+and exceeds what some (workload, family) pairs can safely support, so
+the plan-degradation path (fewer effective shards than requested) is
+exercised as well.
+"""
+
+import pytest
+
+from repro.detectors.registry import create_detector
+from repro.perf.parallel import sharded_replay
+from repro.runtime.vm import replay
+from repro.workloads.registry import build_trace, workload_names
+
+SCALE = 0.08
+SEEDS = range(5)
+SHARD_COUNTS = (1, 2, 4, 7)
+DETECTORS = ("fasttrack-byte", "dynamic")
+
+WORKLOADS = sorted(workload_names())
+
+
+def _race_keys(races):
+    return [r.as_list() for r in races]
+
+
+@pytest.mark.parametrize("detector", DETECTORS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_sharded_replay_is_byte_identical(workload, detector):
+    for seed in SEEDS:
+        trace = build_trace(workload, scale=SCALE, seed=seed)
+        for batched in (False, True):
+            base = replay(trace, create_detector(detector), batched=batched)
+            for shards in SHARD_COUNTS:
+                res = sharded_replay(
+                    trace, create_detector(detector), shards, batched=batched
+                )
+                label = (
+                    f"{workload} seed={seed} shards={shards} "
+                    f"batched={batched} "
+                    f"(effective {res.stats['shards']['effective']})"
+                )
+                assert _race_keys(res.races) == _race_keys(base.races), label
+                stats = {k: v for k, v in res.stats.items() if k != "shards"}
+                assert stats == base.stats, label
+                assert res.events == base.events, label

@@ -1,0 +1,51 @@
+"""Conformance: sharded replay on the golden regression corpus.
+
+Every golden-corpus trace replays through the sharded pipeline (four
+requested shards, serial adapter) and must match the unsharded replay
+byte for byte — races in the same order with the same attribution, and
+identical statistics including the modeled memory peaks.  Together with
+the property sweep over live workloads this enforces the PR's hard
+invariant on the frozen corpus the other conformance suites pin
+against, so a future change that breaks the merge cannot land green.
+"""
+
+import os
+
+import pytest
+
+from repro.detectors.registry import create_detector
+from repro.perf.parallel import sharded_replay
+from repro.runtime.trace import Trace
+from repro.runtime.vm import replay
+from repro.testing.golden import default_corpus_dir, load_manifest
+from repro.workloads.base import default_suppression
+
+DETECTORS = ("fasttrack-byte", "fasttrack-dynamic")
+SHARDS = 4
+
+GOLDEN = sorted(load_manifest())
+
+
+def _race_keys(result):
+    return [r.as_list() for r in result.races]
+
+
+@pytest.mark.parametrize("detector", DETECTORS)
+@pytest.mark.parametrize("name", GOLDEN)
+def test_golden_corpus_sharded_conforms(name, detector):
+    trace = Trace.load(os.path.join(default_corpus_dir(), f"{name}.npz"))
+    for batched in (False, True):
+        base = replay(
+            trace,
+            create_detector(detector, suppress=default_suppression),
+            batched=batched,
+        )
+        res = sharded_replay(
+            trace,
+            create_detector(detector, suppress=default_suppression),
+            SHARDS,
+            batched=batched,
+        )
+        assert _race_keys(res) == _race_keys(base)
+        stats = {k: v for k, v in res.stats.items() if k != "shards"}
+        assert stats == base.stats
