@@ -24,6 +24,7 @@
     repro-race golden regen
     repro-race golden verify
     repro-race bench [--quick] [--out BENCH_slowdown.json] [--shards 4]
+    repro-race bench --quick --shards 4 --check-history [--sampling]
 """
 
 from __future__ import annotations
@@ -117,6 +118,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="run shard detectors in N worker processes "
         "(0 = in-process serial sharding)",
+    )
+    run.add_argument(
+        "--shard-transport",
+        choices=("shm", "pickle"),
+        default="shm",
+        help="how worker processes receive their feeds: shared-memory "
+        "ring over the binary trace form (default) or pickled tuples "
+        "through the pool pipe (see docs/ALGORITHM.md §12)",
     )
     run.add_argument(
         "--checkpoint-every",
@@ -353,6 +362,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append a compact per-run summary line to this JSONL log "
         "(default: BENCH_history.jsonl; empty string disables)",
     )
+    bench.add_argument(
+        "--sampling",
+        action="store_true",
+        help="also measure LiteRace/Pacer recall and speedup vs the "
+        "full FastTrack run over the golden corpus (embedded under "
+        "'sampling' in the output JSON)",
+    )
+    bench.add_argument(
+        "--check-history",
+        action="store_true",
+        help="trend gate: fail when events/sec regresses more than 20%% "
+        "against the best prior history line for the same config "
+        "(requires --history)",
+    )
 
     return parser
 
@@ -406,6 +429,7 @@ def _cmd_run(args) -> int:
             shards=args.shards,
             shard_strategy=args.shard_strategy,
             shard_processes=args.shard_procs,
+            shard_transport=args.shard_transport,
         )
     except Exception as err:
         from repro.perf.parallel import ShardError
@@ -722,10 +746,18 @@ def _cmd_bench(args) -> int:
     from repro.perf.bench import (
         DEFAULT_DETECTORS,
         append_history,
+        check_history,
+        comparable_runs,
         format_bench,
+        format_regressions,
+        load_history,
         run_bench,
         write_bench,
     )
+
+    if args.check_history and not args.history:
+        print("--check-history requires --history")
+        return 2
 
     if args.detectors:
         detectors = [d.strip() for d in args.detectors.split(",") if d.strip()]
@@ -755,15 +787,27 @@ def _cmd_bench(args) -> int:
         quick=args.quick,
         profile=args.profile,
         shards=args.shards,
+        sampling=args.sampling,
     )
     write_bench(result, args.out)
     print(format_bench(result))
     print(f"wrote {args.out}")
+    regressions = []
+    compared = 0
     if args.history:
-        append_history(result, args.history)
+        # The gate compares against history as it stood *before* this
+        # run's line is appended, so a run never gates against itself.
+        prior = load_history(args.history) if args.check_history else []
+        line = append_history(result, args.history)
         print(f"appended run summary to {args.history}")
+        if args.check_history:
+            compared = comparable_runs(line, prior)
+            regressions = check_history(line, prior)
+            print(format_regressions(regressions, compared))
     if result["conformance"]["divergences"]:
         print("FAIL: dispatch-mode or sharded replay diverged")
+        return 1
+    if regressions:
         return 1
     return 0
 

@@ -86,7 +86,8 @@ def _sharded_rows(
     exactly, and any divergence fails the bench like a batching
     divergence does.  Serial mode measures the in-process adapter
     (merge overhead, no parallelism); process mode runs one worker per
-    shard and is the parallel-speedup figure.
+    shard over the shared-memory feed ring and is the parallel-speedup
+    figure.
     """
     from repro.perf.parallel import ShardError, sharded_replay
 
@@ -112,6 +113,7 @@ def _sharded_rows(
                         batched=True,
                         batch_span=span,
                         processes=count if mode == "processes" else 0,
+                        transport="shm",
                     )
                     if runs[mode] is None or res.wall_time < runs[mode].wall_time:
                         runs[mode] = res
@@ -149,6 +151,25 @@ def _sharded_rows(
         row["conforms"] = conforms
         rows[str(count)] = row
     return rows
+
+
+def _transport_row(trace: Trace, detector_name: str, shards: int, span: int):
+    """Measured per-event transport cost (shm ring vs pickle pipe) for
+    one (workload, detector), rounded for the JSON report.  This is the
+    single-CPU acceptance figure: on hosts where process-mode speedup
+    cannot exceed 1.0, ``ratio_vs_pickle`` must still show the binary
+    transport moving at least 5x fewer bytes per event per run."""
+    from repro.perf.parallel import ShardError, transport_cost
+
+    det = create_detector(detector_name, suppress=default_suppression)
+    try:
+        cost = transport_cost(trace, det, shards=shards, batch_span=span)
+    except ShardError as exc:
+        return {"error": str(exc)}
+    return {
+        k: (round(v, 4) if isinstance(v, float) else v)
+        for k, v in cost.items()
+    }
 
 
 def _min_replay_pair(trace: Trace, detector_name: str, repeats: int):
@@ -200,6 +221,7 @@ def run_bench(
     quick: bool = False,
     profile: bool = False,
     shards: int = 1,
+    sampling: bool = False,
 ) -> Dict[str, object]:
     """The full bench sweep; returns the ``BENCH_slowdown.json`` dict.
 
@@ -207,7 +229,12 @@ def run_bench(
     runs through the sharded pipeline at every shard count on the
     speedup curve (2, 4, …, ``shards``), in both serial and process
     mode, and every sharded run is conformance-checked against the
-    single-detector batched replay.
+    single-detector batched replay; a per-event transport-cost row
+    (shared-memory ring vs pickle pipe) is recorded alongside.
+
+    With ``sampling=True`` the LiteRace/Pacer recall harness
+    (:mod:`repro.perf.sampling`) runs over the golden corpus and its
+    rows are embedded in the result.
     """
     if workloads is None:
         workloads = QUICK_WORKLOADS if quick else tuple(workload_names())
@@ -277,7 +304,11 @@ def run_bench(
                     divergences,
                     wname,
                 )
+                det_row["transport"] = _transport_row(
+                    trace, dname, shards, span
+                )
             det_rows[dname] = det_row
+        trace.release_shared()
         wl_rows[wname] = {
             "events": events,
             "shared_accesses": trace.shared_accesses,
@@ -291,7 +322,7 @@ def run_bench(
             "detectors": det_rows,
         }
 
-    return {
+    result: Dict[str, object] = {
         "schema": SCHEMA,
         "quick": quick,
         "config": {
@@ -309,6 +340,23 @@ def run_bench(
             "details": divergences,
         },
     }
+    if shards > 1:
+        ratios = [
+            drow["transport"]["ratio_vs_pickle"]
+            for wrow in wl_rows.values()
+            for drow in wrow["detectors"].values()
+            if "ratio_vs_pickle" in drow.get("transport", {})
+        ]
+        if ratios:
+            result["transport_summary"] = {
+                "min_ratio_vs_pickle": min(ratios),
+                "max_ratio_vs_pickle": max(ratios),
+            }
+    if sampling:
+        from repro.perf.sampling import sampling_report
+
+        result["sampling"] = sampling_report(repeats=repeats)
+    return result
 
 
 def write_bench(result: Dict[str, object], path: str) -> None:
@@ -369,7 +417,7 @@ def history_line(result: Dict[str, object]) -> Dict[str, object]:
                     if "error" not in srow
                 }
             rows.append(row)
-    return {
+    line = {
         "schema": HISTORY_SCHEMA,
         "git_rev": _git_rev(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -378,6 +426,9 @@ def history_line(result: Dict[str, object]) -> Dict[str, object]:
         "divergences": result["conformance"]["divergences"],
         "rows": rows,
     }
+    if "transport_summary" in result:
+        line["transport"] = result["transport_summary"]
+    return line
 
 
 def append_history(result: Dict[str, object], path: str) -> Dict[str, object]:
@@ -387,6 +438,152 @@ def append_history(result: Dict[str, object], path: str) -> Dict[str, object]:
         json.dump(line, fh, sort_keys=True, separators=(",", ":"))
         fh.write("\n")
     return line
+
+
+# ----------------------------------------------------------------------
+# trend gate (``repro-race bench --check-history``)
+# ----------------------------------------------------------------------
+#: Config keys that must match for two history lines to be comparable —
+#: throughput is only meaningful against the same workload set, scale,
+#: seed, dispatch span and shard request.
+_GATE_CONFIG_KEYS = (
+    "workloads",
+    "detectors",
+    "scale",
+    "seed",
+    "repeats",
+    "batch_span",
+    "shards",
+)
+
+#: Throughput metrics the gate watches, per history row.
+_GATE_METRICS = ("events_per_sec", "events_per_sec_batched")
+
+#: Default allowed events/sec regression vs the best prior run.
+GATE_THRESHOLD = 0.2
+
+
+def load_history(path: str) -> List[Dict[str, object]]:
+    """Parse ``BENCH_history.jsonl``, skipping lines that are not valid
+    history records (a truncated append must not wedge the gate)."""
+    lines: List[Dict[str, object]] = []
+    if not os.path.exists(path):
+        return lines
+    with open(path) as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            if (
+                isinstance(line, dict)
+                and line.get("schema") == HISTORY_SCHEMA
+                and isinstance(line.get("rows"), list)
+            ):
+                lines.append(line)
+    return lines
+
+
+def _gate_key(line: Dict[str, object]) -> tuple:
+    config = line.get("config", {})
+    return (bool(line.get("quick")),) + tuple(
+        json.dumps(config.get(k), sort_keys=True) for k in _GATE_CONFIG_KEYS
+    )
+
+
+def check_history(
+    line: Dict[str, object],
+    history: Sequence[Dict[str, object]],
+    threshold: float = GATE_THRESHOLD,
+) -> List[Dict[str, object]]:
+    """Regressions of ``line`` against the best prior comparable run.
+
+    A prior line is comparable when it ran the same config (workloads,
+    detectors, scale, seed, repeats, span, shards) in the same quick
+    mode and finished with zero conformance divergences.  For each
+    (workload, detector) row, each throughput metric must stay within
+    ``threshold`` (fraction) of the best value any comparable prior run
+    achieved; dropping below fails.  No comparable history means no
+    verdict — the gate passes vacuously and the appended line becomes
+    the baseline for the next run.
+    """
+    key = _gate_key(line)
+    best: Dict[tuple, float] = {}
+    for prior in history:
+        if prior is line or _gate_key(prior) != key:
+            continue
+        if prior.get("divergences"):
+            continue
+        for row in prior["rows"]:
+            for metric in _GATE_METRICS:
+                value = row.get(metric)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    continue
+                k = (row.get("workload"), row.get("detector"), metric)
+                if value > best.get(k, 0.0):
+                    best[k] = value
+    regressions: List[Dict[str, object]] = []
+    for row in line.get("rows", []):
+        for metric in _GATE_METRICS:
+            k = (row.get("workload"), row.get("detector"), metric)
+            prior_best = best.get(k)
+            if prior_best is None:
+                continue
+            current = row.get(metric, 0.0)
+            floor = prior_best * (1.0 - threshold)
+            if current < floor:
+                regressions.append(
+                    {
+                        "workload": row.get("workload"),
+                        "detector": row.get("detector"),
+                        "metric": metric,
+                        "current": current,
+                        "best": prior_best,
+                        "floor": floor,
+                        "drop_pct": 100.0 * (1.0 - current / prior_best),
+                    }
+                )
+    return regressions
+
+
+def comparable_runs(
+    line: Dict[str, object], history: Sequence[Dict[str, object]]
+) -> int:
+    """How many prior lines the gate can compare ``line`` against."""
+    key = _gate_key(line)
+    return sum(
+        1
+        for prior in history
+        if prior is not line
+        and _gate_key(prior) == key
+        and not prior.get("divergences")
+    )
+
+
+def format_regressions(
+    regressions: Sequence[Dict[str, object]], compared: int
+) -> str:
+    """Console report for the trend gate."""
+    if not compared:
+        return "bench trend gate: no comparable history — baseline recorded"
+    if not regressions:
+        return (
+            f"bench trend gate: ok vs best of {compared} comparable run(s)"
+        )
+    lines = [
+        f"bench trend gate: {len(regressions)} REGRESSION(S) vs best of "
+        f"{compared} comparable run(s)"
+    ]
+    for reg in regressions:
+        lines.append(
+            f"  {reg['workload']}/{reg['detector']} {reg['metric']}: "
+            f"{reg['current']:.0f} ev/s vs best {reg['best']:.0f} "
+            f"(-{reg['drop_pct']:.1f}%, floor {reg['floor']:.0f})"
+        )
+    return "\n".join(lines)
 
 
 def format_bench(result: Dict[str, object]) -> str:
@@ -424,7 +621,28 @@ def format_bench(result: Dict[str, object]) -> str:
                     f"({par['speedup_vs_single']:.2f}x) "
                     f"{'ok' if srow['conforms'] else 'DIVERGED'}"
                 )
+            tr = drow.get("transport")
+            if tr and "error" not in tr:
+                lines.append(
+                    f"{'':14s}   transport: pickle "
+                    f"{tr['pickle_bytes_per_event']:.2f} B/ev vs shm "
+                    f"{tr['shm_bytes_per_event']:.3f} B/ev per run "
+                    f"({tr['ratio_vs_pickle']:.0f}x fewer; "
+                    f"publish {tr['shm_publish_bytes_per_event']:.1f} B/ev "
+                    f"once)"
+                )
         lines.append(f"{'':14s} (dispatch compression {comp:.1f}%)")
+    sampling = result.get("sampling")
+    if sampling:
+        for srow in sampling["summary"]:
+            lines.append(
+                f"sampling {srow['sampler']:10s}: recall "
+                f"{srow['mean_recall']:.2f} mean "
+                f"(min {srow['min_recall']:.2f}), "
+                f"speedup {srow['mean_speedup']:.2f}x vs full FastTrack, "
+                f"sampled {100.0 * srow['mean_effective_rate']:.1f}% "
+                f"of accesses"
+            )
     conf = result["conformance"]
     lines.append(
         "conformance: "

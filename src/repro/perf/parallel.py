@@ -601,6 +601,45 @@ def _shard_worker(payload) -> dict:
     return runner.result()
 
 
+def _shard_worker_shm(payload) -> dict:
+    """Worker-process entry for the shared-memory transport: attach the
+    published feed ring by name, decode this shard's run table in place,
+    then replay exactly as the pickle path does."""
+    from repro.perf.binlog import ShmFeedRing
+
+    blob, shard, ring_name, boundary_pages, family, total = payload
+    ring = ShmFeedRing.attach(ring_name)
+    try:
+        feed, positions = ring.feed(shard)
+    finally:
+        ring.close()
+    return _shard_worker(
+        (blob, shard, feed, positions, boundary_pages, family, total)
+    )
+
+
+def _ring_for(trace, plan: ShardPlan, batched: bool, batch_span=None):
+    """The published feed ring for ``(trace, plan, feed mode)``, cached
+    on the trace exactly like :func:`shard_feeds`: the one-time publish
+    (a single memcpy of the canonical event matrix plus the per-shard
+    run tables) is paid once and every subsequent process-mode replay
+    ships only the segment name."""
+    from repro.perf import binlog
+
+    span = DEFAULT_BATCH_SPAN if batch_span is None else batch_span
+    key = (plan.key(), bool(batched), span if batched else None)
+    cache = getattr(trace, "_shm_rings", None)
+    if cache is None:
+        cache = trace._shm_rings = {}
+    ring = cache.get(key)
+    if ring is None:
+        feeds = shard_feeds(trace, plan, batched, batch_span)
+        events = binlog.events_view(trace.binlog())
+        runs = [binlog.runs_from_feed(feed, pos) for feed, pos in feeds]
+        ring = cache[key] = binlog.ShmFeedRing.publish(events, runs)
+    return ring
+
+
 # ----------------------------------------------------------------------
 # deterministic merge
 # ----------------------------------------------------------------------
@@ -1045,6 +1084,7 @@ def sharded_replay(
     batched: bool = False,
     batch_span: Optional[int] = None,
     processes: int = 0,
+    transport: str = "shm",
 ):
     """Replay ``trace`` through ``detector`` sharded ``shards`` ways.
 
@@ -1055,6 +1095,14 @@ def sharded_replay(
     trace) outside the timed region, mirroring how the global coalesced
     feed is cached, while the measured wall time covers worker dispatch,
     detection, result transfer and the merge.
+
+    ``transport`` selects how process-mode workers receive their feeds:
+    ``"shm"`` (default) publishes the canonical binary event matrix plus
+    per-shard run tables once through a shared-memory ring
+    (:mod:`repro.perf.binlog`) and ships only the segment name per run;
+    ``"pickle"`` is the PR 5 path that pickles every feed tuple through
+    the pool pipe, kept for conformance tests and the transport-cost
+    microbench.
 
     Either way the merged result is equivalent to
     ``replay(trace, detector, ...)`` — byte-identical races, statistics
@@ -1082,6 +1130,10 @@ def sharded_replay(
         return replay(trace, sharded, batched=batched, batch_span=batch_span)
 
     # -- process mode ---------------------------------------------------
+    if transport not in ("shm", "pickle"):
+        raise ShardError(
+            f"unknown shard transport {transport!r} (choose shm or pickle)"
+        )
     feeds = shard_feeds(trace, plan, batched, batch_span)
     try:
         blob = pickle.dumps(detector)
@@ -1091,11 +1143,20 @@ def sharded_replay(
             f"process-mode sharding ({exc}); run with processes=0"
         ) from exc
     total = len(trace.events)
-    payloads = [
-        (blob, k, feeds[k][0], feeds[k][1], plan.boundary_pages(k),
-         plan.family, total)
-        for k in range(plan.shards)
-    ]
+    if transport == "shm":
+        ring = _ring_for(trace, plan, batched, batch_span)
+        worker = _shard_worker_shm
+        payloads = [
+            (blob, k, ring.name, plan.boundary_pages(k), plan.family, total)
+            for k in range(plan.shards)
+        ]
+    else:
+        worker = _shard_worker
+        payloads = [
+            (blob, k, feeds[k][0], feeds[k][1], plan.boundary_pages(k),
+             plan.family, total)
+            for k in range(plan.shards)
+        ]
 
     import multiprocessing as mp
 
@@ -1106,7 +1167,7 @@ def sharded_replay(
     n_procs = min(int(processes), plan.shards)
     with ctx.Pool(n_procs) as pool:
         t0 = time.perf_counter()
-        results = pool.map(_shard_worker, payloads)
+        results = pool.map(worker, payloads)
         races, stats = merge_shards(results, plan, detector.memory.sizes)
         wall = time.perf_counter() - t0
     stats["shards"] = {
@@ -1116,6 +1177,7 @@ def sharded_replay(
         "cuts": list(plan.cuts),
         "mode": "processes",
         "processes": n_procs,
+        "transport": transport,
     }
     return ReplayResult(
         detector_name=detector.name,
@@ -1128,3 +1190,83 @@ def sharded_replay(
         # true number of callbacks performed across workers.
         dispatched=sum(len(f[0]) for f in feeds),
     )
+
+
+# ----------------------------------------------------------------------
+# transport cost microbench
+# ----------------------------------------------------------------------
+def transport_cost(
+    trace,
+    detector,
+    shards: int = 4,
+    strategy: str = "ranges",
+    batched: bool = True,
+    batch_span: Optional[int] = None,
+) -> dict:
+    """Bytes moved per event by each process-mode transport, measured
+    (not modeled) on this trace's actual shard feeds.
+
+    ``pickle`` is what the PR 5 path ships through the pool pipe on
+    *every* run: each shard's feed tuples, positions and routing
+    metadata, serialized afresh per dispatch.  ``shm`` publishes the
+    canonical event matrix plus per-shard run tables once (the ring is
+    cached on the trace, exactly like the coalesced feeds whose
+    construction cost the replay layer already amortizes) and then
+    ships only the segment name and routing scalars per run — so the
+    steady-state per-run cost is the honest comparison, with the
+    one-time publish size reported alongside, not hidden.  The pickled
+    detector blob is identical on both paths and excluded from both.
+    """
+    from repro.perf import binlog
+
+    plan = plan_for(trace, shards, detector, strategy)
+    feeds = shard_feeds(trace, plan, batched, batch_span)
+    total = len(trace.events)
+    n = max(total, 1)
+    pickle_bytes = sum(
+        len(
+            pickle.dumps(
+                (
+                    k,
+                    feeds[k][0],
+                    feeds[k][1],
+                    plan.boundary_pages(k),
+                    plan.family,
+                    total,
+                )
+            )
+        )
+        for k in range(plan.shards)
+    )
+    runs = [binlog.runs_from_feed(f, p) for f, p in feeds]
+    feed_rows = sum(len(r) for r in runs)
+    publish_bytes = binlog.ring_size(total, plan.shards, feed_rows)
+    # Steady-state per-run payload: segment name (fixed-length
+    # placeholder matching the stdlib's "psm_..." names) plus the same
+    # routing scalars the pickle path also carries.
+    per_run_bytes = sum(
+        len(
+            pickle.dumps(
+                (k, "psm_0000000000", plan.boundary_pages(k), plan.family, total)
+            )
+        )
+        for k in range(plan.shards)
+    )
+    return {
+        "shards": plan.shards,
+        "batched": bool(batched),
+        "events": total,
+        "feed_rows": feed_rows,
+        "pickle_bytes": pickle_bytes,
+        "pickle_bytes_per_event": pickle_bytes / n,
+        "shm_publish_bytes": publish_bytes,
+        "shm_publish_bytes_per_event": publish_bytes / n,
+        "shm_per_run_bytes": per_run_bytes,
+        "shm_bytes_per_event": per_run_bytes / n,
+        "ratio_vs_pickle": pickle_bytes / max(per_run_bytes, 1),
+        # Process-mode runs after which total shm traffic (publish +
+        # per-run payloads) drops below total pickle traffic.
+        "runs_to_amortize": (
+            publish_bytes / max(pickle_bytes - per_run_bytes, 1)
+        ),
+    }

@@ -1,0 +1,143 @@
+"""Sampling recall harness: measured LiteRace/Pacer recall vs FastTrack.
+
+The samplers in :mod:`repro.detectors.sampling` trade detection for
+speed — "reasonable detection rate with minimal overhead, but may miss
+critical data races".  This module turns that sentence into numbers over
+the frozen golden corpus: for each golden trace, the full byte-granular
+FastTrack replay defines the ground-truth race set, and each sampler is
+scored by
+
+* **recall** — fraction of ground-truth race addresses the sampler also
+  reports (a sampler never invents races on these traces: it forwards a
+  subset of accesses to the same inner detector, so precision stays 1.0
+  and ``extras`` below is an honesty counter, not a tuned metric);
+* **speedup** — full-detector replay wall time over sampler wall time,
+  best-of-``repeats`` on both sides;
+* **effective rate** — fraction of memory accesses actually forwarded.
+
+The rows feed ``repro-race bench --sampling`` and land in
+``BENCH_slowdown.json``; the conformance suite additionally pins that
+both samplers at rate 1.0 reproduce the full run byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.detectors.registry import create_detector
+from repro.runtime.trace import Trace
+from repro.runtime.vm import replay
+from repro.testing.golden import default_corpus_dir, load_manifest
+from repro.workloads.base import default_suppression
+
+#: Schema tag for the embedded sampling section.
+SAMPLING_SCHEMA = "repro-race-sampling-recall/v1"
+
+#: Registry names of the samplers under measurement.
+SAMPLERS = ("literace", "pacer")
+
+#: The ground-truth detector (byte granularity: the finest race set).
+FULL_DETECTOR = "fasttrack-byte"
+
+
+def _race_addrs(result) -> frozenset:
+    return frozenset(r.addr for r in result.races)
+
+
+def _best_replay(trace: Trace, name: str, repeats: int, **kwargs):
+    best = None
+    for _ in range(max(repeats, 1)):
+        det = create_detector(name, suppress=default_suppression, **kwargs)
+        res = replay(trace, det)
+        if best is None or res.wall_time < best.wall_time:
+            best = res
+    return best
+
+
+def recall_rows(
+    corpus_dir: Optional[str] = None,
+    samplers: Sequence[str] = SAMPLERS,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """One row per (golden trace, sampler) with recall, speedup and the
+    sampler's measured effective rate."""
+    corpus = corpus_dir or default_corpus_dir()
+    rows: List[Dict[str, object]] = []
+    for name in sorted(load_manifest(corpus)):
+        trace = Trace.load(os.path.join(corpus, f"{name}.npz"))
+        full = _best_replay(trace, FULL_DETECTOR, repeats)
+        truth = _race_addrs(full)
+        for sampler in samplers:
+            res = _best_replay(trace, sampler, repeats)
+            found = _race_addrs(res)
+            stats = res.stats
+            rows.append(
+                {
+                    "trace": name,
+                    "sampler": sampler,
+                    "events": len(trace),
+                    "full_races": len(truth),
+                    "found_races": len(found & truth),
+                    "extras": len(found - truth),
+                    "recall": (
+                        len(found & truth) / len(truth) if truth else 1.0
+                    ),
+                    "speedup_vs_full": (
+                        full.wall_time / res.wall_time
+                        if res.wall_time > 0
+                        else 0.0
+                    ),
+                    "effective_rate": stats.get("effective_rate", 1.0),
+                    "sampled_accesses": stats.get("sampled_accesses", 0),
+                    "skipped_accesses": stats.get("skipped_accesses", 0),
+                }
+            )
+    return rows
+
+
+def summarize(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per-sampler aggregates over the corpus (mean/min recall, mean
+    speedup and effective rate), in sampler order of first appearance."""
+    order: List[str] = []
+    grouped: Dict[str, List[Dict[str, object]]] = {}
+    for row in rows:
+        sampler = row["sampler"]
+        if sampler not in grouped:
+            grouped[sampler] = []
+            order.append(sampler)
+        grouped[sampler].append(row)
+    out: List[Dict[str, object]] = []
+    for sampler in order:
+        group = grouped[sampler]
+        n = len(group)
+        out.append(
+            {
+                "sampler": sampler,
+                "traces": n,
+                "mean_recall": sum(r["recall"] for r in group) / n,
+                "min_recall": min(r["recall"] for r in group),
+                "mean_speedup": (
+                    sum(r["speedup_vs_full"] for r in group) / n
+                ),
+                "mean_effective_rate": (
+                    sum(r["effective_rate"] for r in group) / n
+                ),
+            }
+        )
+    return out
+
+
+def sampling_report(
+    corpus_dir: Optional[str] = None,
+    samplers: Sequence[str] = SAMPLERS,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """The section embedded under ``"sampling"`` in the bench JSON."""
+    rows = recall_rows(corpus_dir, samplers, repeats)
+    return {
+        "schema": SAMPLING_SCHEMA,
+        "full_detector": FULL_DETECTOR,
+        "rows": rows,
+        "summary": summarize(rows),
+    }

@@ -3,8 +3,10 @@
 Layout (all on disk, one file per checkpoint)::
 
     MAGIC                       b"RRCKPT1\\n"
-    manifest-JSON line          schema, detector, cursors, trace digest,
-                                payload sha256 + length
+    manifest-JSON line          schema, detector, cursors, trace digest
+                                (sha256 of the trace's canonical binary
+                                form, ``Trace.binlog()``), payload
+                                sha256 + length
     payload                     zlib(deterministic JSON of
                                 ``detector.snapshot_state()``)
 

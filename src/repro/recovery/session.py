@@ -146,6 +146,9 @@ class DetectionSession:
         self._next_kill = 0
         #: checkpoints discarded as bad — never offered again
         self._bad: set = set()
+        # sha256 of the trace's canonical binary form (Trace.binlog):
+        # manifests commit to the exact bytes the codec round-trips and
+        # the shard transport ships, not to Python repr formatting.
         self._digest = trace.digest()
         self._label = self._detector_label()
         #: interruption history, merged into ``statistics()["recovery"]``

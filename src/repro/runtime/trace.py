@@ -46,6 +46,10 @@ class Trace:
         # are derived data — subset()/save() ignore them.
         self._shard_plans: Dict[tuple, object] = {}
         self._shard_feeds: Dict[tuple, tuple] = {}
+        # Published shared-memory feed rings (repro.perf.binlog), keyed
+        # like _shard_feeds.  Derived data with OS-level lifetime: call
+        # release_shared() when done replaying (atexit is the backstop).
+        self._shm_rings: Dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -146,24 +150,51 @@ class Trace:
         return out
 
     # ------------------------------------------------------------------
-    # identity
+    # identity / binary form
     # ------------------------------------------------------------------
+    def binlog(self) -> bytes:
+        """The canonical binary encoding (:mod:`repro.perf.binlog`):
+        fixed-width event records plus deterministic side tables for
+        name, heap stats and faults.  Cached — traces are immutable once
+        scheduled — and shared by :meth:`digest` and the shared-memory
+        shard transport."""
+        cached = getattr(self, "_binlog", None)
+        if cached is None:
+            from repro.perf.binlog import encode_trace
+
+            cached = self._binlog = encode_trace(self)
+        return cached
+
+    @classmethod
+    def from_binlog(cls, blob: bytes) -> "Trace":
+        """Rebuild a trace from its canonical binary encoding."""
+        from repro.perf.binlog import decode_trace
+
+        return decode_trace(blob)
+
+    def release_shared(self) -> None:
+        """Destroy any shared-memory feed rings published for this
+        trace (see :func:`repro.perf.parallel.sharded_replay`).  Safe to
+        call repeatedly; replaying again simply republishes."""
+        rings = getattr(self, "_shm_rings", None) or {}
+        for ring in rings.values():
+            ring.destroy()
+        rings.clear()
+
     def digest(self) -> str:
-        """Content hash over events and identifying metadata.
+        """Content hash over the canonical binary form.
 
         Checkpoints record this so a resume against a *different* trace
         (same workload, different seed or scale) is refused instead of
-        silently producing garbage.  Cached — traces are immutable once
-        scheduled.
+        silently producing garbage.  Hashing :meth:`binlog` (rather than
+        per-event ``repr``) makes the digest a commitment to the exact
+        bytes the shard transport ships and the codec round-trips.
+        Cached — traces are immutable once scheduled.
         """
         cached = getattr(self, "_digest", None)
         if cached is not None:
             return cached
-        h = hashlib.sha256()
-        h.update(f"{self.name}|{self.n_threads}|{len(self.events)}".encode())
-        for ev in self.events:
-            h.update(repr(ev).encode())
-        self._digest = h.hexdigest()
+        self._digest = hashlib.sha256(self.binlog()).hexdigest()
         return self._digest
 
     # ------------------------------------------------------------------

@@ -95,6 +95,7 @@ def replay(
     shards: int = 1,
     shard_strategy: str = "ranges",
     shard_processes: int = 0,
+    shard_transport: str = "shm",
 ) -> ReplayResult:
     """Replay ``trace`` through ``detector`` and collect results.
 
@@ -111,7 +112,9 @@ def replay(
     shards, each with its own detector instance, and the per-shard
     results are deterministically merged.  Output stays byte-identical
     to the single-detector run; ``shard_processes > 0`` additionally
-    runs the shard detectors in worker processes.
+    runs the shard detectors in worker processes, receiving their feeds
+    over the ``shard_transport`` of choice (``"shm"`` shared-memory
+    ring by default, ``"pickle"`` pool pipe for comparison).
     """
     if shards > 1:
         from repro.perf.parallel import sharded_replay
@@ -124,6 +127,7 @@ def replay(
             batched=batched,
             batch_span=batch_span,
             processes=shard_processes,
+            transport=shard_transport,
         )
     events = trace.coalesced(batch_span) if batched else trace.events
     on_read = detector.on_read

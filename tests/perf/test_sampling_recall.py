@@ -1,0 +1,130 @@
+"""Sampling recall harness: conformance at rate 1.0, honesty below it.
+
+The harness (repro.perf.sampling) measures what the LiteRace/Pacer
+wrappers actually deliver — recall against the full FastTrack race set
+and wall-clock speedup — over the frozen golden corpus.  Two contracts
+are pinned here:
+
+* at sampling rate 1.0 both samplers ARE the full detector: identical
+  race reports on every golden trace (so any recall below 1.0 in the
+  report is the sampling policy's doing, not a wrapper bug);
+* the report's numbers are internally consistent (recall within [0, 1],
+  found + missed = full, effective rate matches the sampled/skipped
+  counters).
+"""
+
+import os
+
+import pytest
+
+from repro.detectors.registry import create_detector
+from repro.detectors.sampling import LiteRaceDetector, PacerDetector
+from repro.perf.sampling import (
+    FULL_DETECTOR,
+    SAMPLERS,
+    SAMPLING_SCHEMA,
+    recall_rows,
+    sampling_report,
+    summarize,
+)
+from repro.runtime.trace import Trace
+from repro.runtime.vm import replay
+from repro.testing.golden import default_corpus_dir, load_manifest
+from repro.workloads.base import default_suppression
+
+GOLDEN = sorted(load_manifest())
+
+
+def _race_keys(result):
+    return [r.as_list() for r in result.races]
+
+
+def _load(name):
+    return Trace.load(os.path.join(default_corpus_dir(), f"{name}.npz"))
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_full_rate_samplers_match_fasttrack(name):
+    trace = _load(name)
+    base = replay(
+        trace, create_detector(FULL_DETECTOR, suppress=default_suppression)
+    )
+    always_literace = LiteRaceDetector(
+        floor_rate=1.0, suppress=default_suppression
+    )
+    always_pacer = PacerDetector(rate=1.0, suppress=default_suppression)
+    for det in (always_literace, always_pacer):
+        res = replay(trace, det)
+        assert _race_keys(res) == _race_keys(base), type(det).__name__
+        assert res.stats["effective_rate"] == 1.0
+        assert res.stats["skipped_accesses"] == 0
+
+
+def test_recall_rows_are_consistent():
+    rows = recall_rows(repeats=1)
+    assert len(rows) == len(GOLDEN) * len(SAMPLERS)
+    seen = set()
+    for row in rows:
+        seen.add(row["sampler"])
+        assert 0.0 <= row["recall"] <= 1.0
+        assert row["found_races"] <= row["full_races"]
+        if row["full_races"]:
+            assert row["recall"] == row["found_races"] / row["full_races"]
+        else:
+            assert row["recall"] == 1.0
+        assert row["speedup_vs_full"] > 0.0
+        assert 0.0 <= row["effective_rate"] <= 1.0
+        total = row["sampled_accesses"] + row["skipped_accesses"]
+        if total:
+            assert row["effective_rate"] == pytest.approx(
+                row["sampled_accesses"] / total
+            )
+    assert seen == set(SAMPLERS)
+
+
+def test_samplers_actually_sample():
+    """Default rates must skip a nonzero fraction of accesses on at
+    least one golden trace — otherwise the 'speedup' column measures
+    nothing."""
+    rows = recall_rows(repeats=1)
+    for sampler in SAMPLERS:
+        skipped = sum(
+            r["skipped_accesses"] for r in rows if r["sampler"] == sampler
+        )
+        assert skipped > 0, f"{sampler} never skipped an access"
+
+
+def test_summary_aggregates():
+    rows = recall_rows(repeats=1)
+    summary = summarize(rows)
+    assert [s["sampler"] for s in summary] == list(SAMPLERS)
+    for srow in summary:
+        group = [r for r in rows if r["sampler"] == srow["sampler"]]
+        assert srow["traces"] == len(group)
+        assert srow["mean_recall"] == pytest.approx(
+            sum(r["recall"] for r in group) / len(group)
+        )
+        assert srow["min_recall"] == min(r["recall"] for r in group)
+        assert 0.0 <= srow["mean_effective_rate"] <= 1.0
+
+
+def test_sampling_report_shape():
+    report = sampling_report(repeats=1)
+    assert report["schema"] == SAMPLING_SCHEMA
+    assert report["full_detector"] == FULL_DETECTOR
+    assert report["rows"] and report["summary"]
+
+
+def test_bench_embeds_sampling_section():
+    from repro.perf.bench import run_bench
+
+    result = run_bench(
+        workloads=["streamcluster"],
+        detectors=["fasttrack-byte"],
+        scale=0.05,
+        repeats=1,
+        quick=True,
+        sampling=True,
+    )
+    assert result["sampling"]["schema"] == SAMPLING_SCHEMA
+    assert len(result["sampling"]["rows"]) == len(GOLDEN) * len(SAMPLERS)

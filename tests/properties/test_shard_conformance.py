@@ -15,6 +15,11 @@ at-peak averages.  Shard count 7 is deliberately not a power of two
 and exceeds what some (workload, family) pairs can safely support, so
 the plan-degradation path (fewer effective shards than requested) is
 exercised as well.
+
+A second sweep pins the process-mode transports: replaying through
+worker processes fed by the shared-memory binary ring (and by the
+legacy pickle pipe) must match the in-process adapter exactly
+(docs/ALGORITHM.md §12).
 """
 
 import pytest
@@ -56,3 +61,41 @@ def test_sharded_replay_is_byte_identical(workload, detector):
                 stats = {k: v for k, v in res.stats.items() if k != "shards"}
                 assert stats == base.stats, label
                 assert res.events == base.events, label
+
+
+@pytest.mark.parametrize("detector", DETECTORS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_shm_transport_matches_in_process(workload, detector):
+    """Process mode over the shared-memory feed ring produces the exact
+    in-process result: workers decode their feeds from the published
+    binary form (repro.perf.binlog), and the merge must not be able to
+    tell.  The pickle transport is swept alongside so the two process
+    paths stay interchangeable."""
+    trace = build_trace(workload, scale=SCALE, seed=0)
+    try:
+        for batched in (False, True):
+            base = sharded_replay(
+                trace, create_detector(detector), 4, batched=batched
+            )
+            if base.stats["shards"]["effective"] < 2:
+                continue
+            for transport in ("shm", "pickle"):
+                res = sharded_replay(
+                    trace,
+                    create_detector(detector),
+                    4,
+                    batched=batched,
+                    processes=2,
+                    transport=transport,
+                )
+                label = f"{workload} batched={batched} transport={transport}"
+                assert res.stats["shards"]["transport"] == transport, label
+                assert _race_keys(res.races) == _race_keys(base.races), label
+                stats = {k: v for k, v in res.stats.items() if k != "shards"}
+                base_stats = {
+                    k: v for k, v in base.stats.items() if k != "shards"
+                }
+                assert stats == base_stats, label
+                assert res.events == base.events, label
+    finally:
+        trace.release_shared()

@@ -49,3 +49,93 @@ def test_golden_corpus_sharded_conforms(name, detector):
         assert _race_keys(res) == _race_keys(base)
         stats = {k: v for k, v in res.stats.items() if k != "shards"}
         assert stats == base.stats
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_golden_corpus_shm_transport_conforms(name):
+    """Process mode over the shared-memory binary ring matches the
+    serial sharded replay on every frozen corpus trace."""
+    trace = Trace.load(os.path.join(default_corpus_dir(), f"{name}.npz"))
+    try:
+        base = sharded_replay(
+            trace,
+            create_detector("fasttrack-byte", suppress=default_suppression),
+            SHARDS,
+            batched=True,
+        )
+        if base.stats["shards"]["effective"] < 2:
+            pytest.skip("trace does not support two effective shards")
+        res = sharded_replay(
+            trace,
+            create_detector("fasttrack-byte", suppress=default_suppression),
+            SHARDS,
+            batched=True,
+            processes=2,
+            transport="shm",
+        )
+        assert res.stats["shards"]["transport"] == "shm"
+        assert _race_keys(res) == _race_keys(base)
+        stats = {k: v for k, v in res.stats.items() if k != "shards"}
+        base_stats = {k: v for k, v in base.stats.items() if k != "shards"}
+        assert stats == base_stats
+    finally:
+        trace.release_shared()
+
+
+def test_golden_killed_session_matches_shm_process_run(tmp_path):
+    """A sharded session killed mid-feed and resumed from its
+    checkpoint ends byte-identical to both the uninterrupted session
+    and the shared-memory process-mode replay of the same trace — the
+    recovery path and the binary transport agree on one result.
+
+    The digest in the checkpoint manifest is now the hash of the
+    trace's canonical binary form, so the resume validates against the
+    exact bytes the shm ring ships.
+    """
+    from repro.recovery.session import DetectionSession, Supervisor
+
+    name = GOLDEN[0]
+    trace = Trace.load(os.path.join(default_corpus_dir(), f"{name}.npz"))
+    kill_at = max(len(trace) // 2, 2)
+    try:
+        base = DetectionSession(
+            trace,
+            "fasttrack-byte",
+            checkpoint_dir=str(tmp_path / "base"),
+            checkpoint_every=max(kill_at // 2, 1),
+            shards=SHARDS,
+        ).run()
+        killed = DetectionSession(
+            trace,
+            "fasttrack-byte",
+            checkpoint_dir=str(tmp_path / "killed"),
+            checkpoint_every=max(kill_at // 2, 1),
+            shards=SHARDS,
+            kills=[kill_at],
+        )
+        res = Supervisor(killed).run()
+        assert res.stats["recovery"]["resumes"] == 1
+        assert _race_keys(res) == _race_keys(base)
+
+        if base.stats["shards"]["effective"] >= 2:
+            # sessions build their detector without suppression, so the
+            # shm comparison run must too
+            shm = sharded_replay(
+                trace,
+                create_detector("fasttrack-byte"),
+                SHARDS,
+                processes=2,
+                transport="shm",
+            )
+            assert _race_keys(shm) == _race_keys(res)
+            shm_stats = {
+                k: v for k, v in shm.stats.items() if k != "shards"
+            }
+            res_stats = {
+                k: v
+                for k, v in res.stats.items()
+                if k not in ("shards", "recovery")
+            }
+            assert shm_stats == res_stats
+    finally:
+        trace.release_shared()
