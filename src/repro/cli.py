@@ -25,6 +25,8 @@
     repro-race golden verify
     repro-race bench [--quick] [--out BENCH_slowdown.json] [--shards 4]
     repro-race bench --quick --shards 4 --check-history [--sampling]
+    repro-race serve [--port 7432] [--checkpoint-root DIR]
+    repro-race loadgen --quick [--connect HOST:PORT] [-o BENCH_server.json]
 """
 
 from __future__ import annotations
@@ -375,6 +377,85 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trend gate: fail when events/sec regresses more than 20%% "
         "against the best prior history line for the same config "
         "(requires --history)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant detection daemon "
+        "(see docs/ALGORITHM.md §13)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7432, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--checkpoint-root",
+        default=".repro-race/server-ckpts",
+        help="per-tenant checkpoint directories live under here",
+    )
+    serve.add_argument(
+        "--detector",
+        default="fasttrack-byte",
+        choices=available_detectors(),
+        help="default detector for sessions that don't name one",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=2000,
+        help="checkpoint cadence in events per tenant",
+    )
+    serve.add_argument(
+        "--shadow-budget", type=int,
+        help="default per-tenant shadow-clock budget (GuardedDetector)",
+    )
+    serve.add_argument(
+        "--high-watermark", type=int, default=1 << 20,
+        help="pause a tenant's socket above this many queued bytes",
+    )
+    serve.add_argument(
+        "--low-watermark", type=int, default=1 << 18,
+        help="resume reading below this many queued bytes",
+    )
+    serve.add_argument(
+        "--shed-after", type=float, default=5.0,
+        help="shed (typed OVERLOADED) a tenant paused this long",
+    )
+    serve.add_argument(
+        "--watchdog-timeout", type=float, default=10.0,
+        help="kill + migrate a dispatch slice wedged this long",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float,
+        help="shed mid-stream clients silent this long (default: never)",
+    )
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="multi-tenant load + fault campaign against the daemon; "
+        "writes BENCH_server.json and gates on recovery divergence",
+    )
+    lg.add_argument(
+        "--connect",
+        help="HOST:PORT of a running daemon (default: in-process server)",
+    )
+    lg.add_argument("--tenants", type=int, default=4)
+    lg.add_argument(
+        "--workload", "-w", default="pbzip2", choices=_all_runnable()
+    )
+    lg.add_argument("--scale", type=float, default=0.3)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--detector", "-d", default="fasttrack")
+    lg.add_argument("--batch-events", type=int, default=2048)
+    lg.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="clean throughput run: skip the fault campaign",
+    )
+    lg.add_argument(
+        "--quick", action="store_true", help="CI smoke scale"
+    )
+    lg.add_argument(
+        "--out", "-o", default="BENCH_server.json",
+        help="result JSON path (default: BENCH_server.json)",
     )
 
     return parser
@@ -812,6 +893,83 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.server.daemon import RaceServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        checkpoint_root=args.checkpoint_root,
+        detector=args.detector,
+        checkpoint_every=args.checkpoint_every,
+        shadow_budget=args.shadow_budget,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        shed_after=args.shed_after,
+        watchdog_timeout=args.watchdog_timeout,
+        idle_timeout=args.idle_timeout,
+    )
+    server = RaceServer(config)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"repro-race serve: listening on {config.host}:{server.port} "
+            f"(default detector {config.detector}, "
+            f"checkpoints under {config.checkpoint_root})"
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("repro-race serve: draining...")
+        await server.shutdown()
+        print(
+            f"repro-race serve: drained "
+            f"{server.stats['drained_tenants']} live tenant(s), bye"
+        )
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.server.loadgen import format_loadgen, run_loadgen
+
+    address = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"bad --connect value {args.connect!r} (want HOST:PORT)")
+            return 2
+        address = (host, int(port))
+    body = run_loadgen(
+        address,
+        tenants=args.tenants,
+        workload=args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        detector=args.detector,
+        batch_events=args.batch_events,
+        faults=not args.no_faults,
+        quick=args.quick,
+        out=args.out,
+    )
+    print(format_loadgen(body))
+    print(f"wrote {args.out}")
+    if body["recovery_divergences"]:
+        print(
+            f"FAIL: {body['recovery_divergences']} migrated session(s) "
+            "diverged from their uninterrupted twin"
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-race`` console script."""
     args = _build_parser().parse_args(argv)
@@ -843,6 +1001,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_golden(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -241,6 +241,7 @@ class ShmFeedRing:
     def __init__(self, shm, created: bool):
         self._shm = shm
         self._created = created
+        self._destroyed = False
         head = bytes(shm.buf[:_SLOT_INDEX_OFF])
         if head[:_RING_HEADER_OFF] != RING_MAGIC:
             shm.close()
@@ -364,15 +365,32 @@ class ShmFeedRing:
             pass
 
     def destroy(self) -> None:
-        """Close, and unlink if this process published the segment."""
-        _LIVE_RINGS.pop(self._shm.name, None)
+        """Close, and unlink if this process published the segment.
+
+        Idempotent and abnormal-exit safe by contract: reclaim runs
+        from ``Trace.release_shared()``, from worker-pool teardown *and*
+        from the atexit backstop, in any order, possibly after a crashed
+        publisher (or an impatient resource tracker) already unlinked
+        the segment — a second ``destroy()``, an externally-unlinked
+        segment, or a half-torn-down ``SharedMemory`` object must all be
+        silent no-ops, never a raise during cleanup.
+        """
+        if getattr(self, "_destroyed", False):
+            return
+        self._destroyed = True
+        try:
+            _LIVE_RINGS.pop(self._shm.name, None)
+        except Exception:  # pragma: no cover - shm lost its name attr
+            pass
         self.close()
         if self._created:
+            self._created = False
             try:
                 self._shm.unlink()
-            except Exception:  # pragma: no cover - already unlinked
+            except FileNotFoundError:
+                pass  # already unlinked (crashed publisher / tracker)
+            except Exception:  # pragma: no cover - platform quirks
                 pass
-            self._created = False
 
 
 def ring_size(n_events: int, n_slots: int, total_rows: int) -> int:

@@ -18,6 +18,11 @@ byte-identical races and statistics to an uninterrupted one.
   :class:`Supervisor` adds a watchdog, bounded exponential-backoff
   retry, fall-back through older checkpoints, and degradation into the
   :class:`~repro.detectors.guards.GuardedDetector` shedding ladder.
+* :mod:`repro.recovery.watchdog` — the shared thread-safe
+  monotonic-deadline timer behind every timeout above: one monitor
+  thread, cooperative :class:`Deadline` handles usable off the main
+  thread (the supervisor keeps SIGALRM only as a main-thread hard
+  backstop).
 """
 
 from repro.recovery.checkpoint import (
@@ -35,6 +40,11 @@ from repro.recovery.session import (
     SupervisorError,
     WatchdogTimeout,
 )
+from repro.recovery.watchdog import (
+    Deadline,
+    MonotonicWatchdog,
+    shared_watchdog,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -48,4 +58,7 @@ __all__ = [
     "Supervisor",
     "SupervisorError",
     "WatchdogTimeout",
+    "Deadline",
+    "MonotonicWatchdog",
+    "shared_watchdog",
 ]

@@ -12,7 +12,9 @@ interrupted (``statistics()["recovery"]`` excepted — that section
 exists precisely to record the interruption history).
 
 :class:`Supervisor` wraps a session with the process-level robustness
-the fuzz campaigns need: a SIGALRM watchdog, bounded retry with
+the fuzz campaigns need: a monotonic-deadline watchdog (shared timer
+thread, works from any thread; SIGALRM stays armed on the main thread
+as a hard backstop for non-cooperative wedges), bounded retry with
 exponential backoff, fall-back through older checkpoints when the
 newest is corrupt (typed :class:`CheckpointError`), and — when retries
 are exhausted — degradation into the
@@ -45,6 +47,7 @@ from repro.recovery.checkpoint import (
     validate_manifest,
     write_checkpoint,
 )
+from repro.recovery.watchdog import shared_watchdog
 from repro.runtime.faults import FaultPlan
 from repro.runtime.trace import Trace
 from repro.runtime.vm import ReplayResult, dispatch_event
@@ -144,6 +147,12 @@ class DetectionSession:
         else:
             self._kills = sorted(kills) if kills else []
         self._next_kill = 0
+        #: cooperative abort hook, polled at every feed boundary: when it
+        #: returns True the attempt raises :class:`WatchdogTimeout`.  The
+        #: supervisor points this at a monotonic
+        #: :class:`~repro.recovery.watchdog.Deadline` so its timeout works
+        #: off the main thread, where SIGALRM cannot.
+        self.abort_check: Optional[Callable[[], bool]] = None
         #: checkpoints discarded as bad — never offered again
         self._bad: set = set()
         # sha256 of the trace's canonical binary form (Trace.binlog):
@@ -323,9 +332,12 @@ class DetectionSession:
         every = self.checkpoint_every
         next_mark = (events_done // every + 1) * every
         kills = self._kills
+        abort_check = self.abort_check
         n = len(feed)
         t0 = time.perf_counter()
         while cursor < n:
+            if abort_check is not None and abort_check():
+                raise WatchdogTimeout("attempt aborted by deadline")
             if self._next_kill < len(kills) and events_done >= kills[self._next_kill]:
                 at = kills[self._next_kill]
                 self._next_kill += 1
@@ -412,25 +424,50 @@ class Supervisor:
     # ------------------------------------------------------------------
     @contextmanager
     def _watchdog(self):
+        """Arm the attempt timeout.
+
+        Primary mechanism: a shared monotonic :class:`Deadline`
+        (:mod:`repro.recovery.watchdog`) polled by the session at every
+        feed boundary — thread-safe, so supervisors work off the main
+        thread (fuzz workers, the detection server's executor).  On the
+        main thread SIGALRM is *additionally* armed as a hard backstop:
+        it interrupts a wedge that never reaches a poll point (a
+        detector stuck inside one callback), which the cooperative
+        deadline cannot.
+        """
         seconds = self.watchdog_timeout
-        if (
-            not seconds
-            or not hasattr(signal, "SIGALRM")
-            or threading.current_thread() is not threading.main_thread()
-        ):
+        if not seconds:
             yield
             return
+        handle = shared_watchdog().arm(seconds)
+        prev_check = self.session.abort_check
+        self.session.abort_check = lambda: handle.expired
+        use_alarm = (
+            hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
 
         def _expire(_signum, _frame):
             raise WatchdogTimeout(f"attempt exceeded {seconds}s")
 
-        old = signal.signal(signal.SIGALRM, _expire)
-        signal.setitimer(signal.ITIMER_REAL, seconds)
+        old = None
+        if use_alarm:
+            old = signal.signal(signal.SIGALRM, _expire)
+            signal.setitimer(signal.ITIMER_REAL, seconds)
         try:
             yield
+            if not handle.cancel():
+                # Expired between the last poll and the finish line: the
+                # attempt did complete, so the timeout is moot.
+                pass
+        except BaseException:
+            handle.cancel()
+            raise
         finally:
-            signal.setitimer(signal.ITIMER_REAL, 0)
-            signal.signal(signal.SIGALRM, old)
+            self.session.abort_check = prev_check
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0)
+                signal.signal(signal.SIGALRM, old)
 
     # ------------------------------------------------------------------
     def run(self, resume: Optional[str] = LATEST) -> ReplayResult:

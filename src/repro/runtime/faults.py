@@ -40,6 +40,22 @@ Fault taxonomy (see ALGORITHM.md §8):
     raising :class:`~repro.recovery.session.DetectorKilled` at the
     next dispatch boundary, which is how fuzz campaigns exercise the
     checkpoint/restore path end to end.
+
+Server-side kinds (:data:`SERVER_KINDS`) model misbehaving *clients* of
+the detection daemon (:mod:`repro.server`).  The scheduler and the
+replay VM both ignore them; the load generator and the server soak
+tests act them out on the wire:
+
+``drop-connection``
+    The client's socket closes abruptly once ``at_event`` events have
+    been streamed — no FINISH, no goodbye.  The daemon must park the
+    tenant's session for reconnect-resume instead of losing it.
+``stall-client``
+    The client goes silent mid-stream (possibly mid-frame) at
+    ``at_event`` and stays silent past the daemon's idle deadline.
+``corrupt-frame``
+    The client sends a garbage frame at ``at_event``.  The daemon must
+    reply with a typed protocol error poisoning *only* that session.
 """
 
 from __future__ import annotations
@@ -53,9 +69,21 @@ FAIL_ACQUIRE = "fail-acquire"
 FAIL_MALLOC = "fail-malloc"
 TRUNCATE = "truncate"
 KILL_DETECTOR = "kill-detector-at-event"
+DROP_CONNECTION = "drop-connection"
+STALL_CLIENT = "stall-client"
+CORRUPT_FRAME = "corrupt-frame"
 
 #: Every injectable fault kind.
-FAULT_KINDS = (KILL_THREAD, FAIL_ACQUIRE, FAIL_MALLOC, TRUNCATE, KILL_DETECTOR)
+FAULT_KINDS = (
+    KILL_THREAD,
+    FAIL_ACQUIRE,
+    FAIL_MALLOC,
+    TRUNCATE,
+    KILL_DETECTOR,
+    DROP_CONNECTION,
+    STALL_CLIENT,
+    CORRUPT_FRAME,
+)
 
 #: Kinds the scheduler itself acts on while generating the trace.
 SCHEDULER_KINDS = (KILL_THREAD, FAIL_ACQUIRE, FAIL_MALLOC, TRUNCATE)
@@ -63,6 +91,10 @@ SCHEDULER_KINDS = (KILL_THREAD, FAIL_ACQUIRE, FAIL_MALLOC, TRUNCATE)
 #: Kinds honoured on the analysis side (replay/session), invisible to
 #: the scheduler: the target program runs unperturbed.
 DETECTOR_KINDS = (KILL_DETECTOR,)
+
+#: Kinds acted out on the wire by detection-server *clients* (the load
+#: generator and soak tests); the scheduler and replay VM ignore them.
+SERVER_KINDS = (DROP_CONNECTION, STALL_CLIENT, CORRUPT_FRAME)
 
 #: Default generation mix: truncation is excluded because it silently
 #: shortens every measurement the trace feeds; campaigns opt in.
@@ -152,6 +184,11 @@ class FaultPlan:
         """Sorted event indices at which ``kill-detector-at-event``
         faults are planned (consumed by the detection session)."""
         return [s.at_event for s in self.specs if s.kind == KILL_DETECTOR]
+
+    def server_specs(self) -> List[FaultSpec]:
+        """The sub-plan of client-misbehaviour faults, sorted by event
+        index (consumed by the detection-server load generator)."""
+        return [s for s in self.specs if s.kind in SERVER_KINDS]
 
 
 @dataclass

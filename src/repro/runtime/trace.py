@@ -174,11 +174,22 @@ class Trace:
 
     def release_shared(self) -> None:
         """Destroy any shared-memory feed rings published for this
-        trace (see :func:`repro.perf.parallel.sharded_replay`).  Safe to
-        call repeatedly; replaying again simply republishes."""
-        rings = getattr(self, "_shm_rings", None) or {}
-        for ring in rings.values():
-            ring.destroy()
+        trace (see :func:`repro.perf.parallel.sharded_replay`).
+
+        Idempotent, and tolerant of rings whose segments are already
+        gone (a crashed publisher's atexit pass races the resource
+        tracker): each ring is reclaimed independently, so one broken
+        segment can neither abort cleanup of the rest nor raise out of
+        interpreter teardown.  Replaying again simply republishes.
+        """
+        rings = getattr(self, "_shm_rings", None)
+        if not rings:
+            return
+        for ring in list(rings.values()):
+            try:
+                ring.destroy()
+            except Exception:  # pragma: no cover - defensive: destroy
+                pass  # is a no-raise contract, but atexit must not trust it
         rings.clear()
 
     def digest(self) -> str:

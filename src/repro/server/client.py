@@ -1,0 +1,357 @@
+"""Client library for the detection daemon, dracepy-shaped.
+
+The surface mirrors the in-process detectors: construct a
+:class:`Detector`, feed it events, collect races — except the detector
+lives in the daemon and events travel as binary frames::
+
+    from repro.server.client import Detector
+
+    det = Detector("fasttrack", address=("127.0.0.1", 7432))
+    det.fork(0, 1)
+    det.write(0, 0x1000, 4)
+    det.write(1, 0x1000, 4)
+    det.on_race(lambda race: print("race at", hex(race.addr)))
+    result = det.finish()          # blocks until the server's RESULT
+
+The client is deliberately robust against the daemon's shedding
+behaviour: when the server parks the session (``OVERLOADED`` under
+backpressure, ``IDLE_TIMEOUT``, a dropped connection), the client
+reconnects with the same tenant id, learns the acknowledged cursor from
+the WELCOME frame, and restreams only the unacknowledged suffix of its
+local event journal.  Races are never duplicated across reconnects —
+the server's race cursor is part of the parked session.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.detectors.base import RaceReport
+from repro.runtime.events import (
+    ACQUIRE,
+    ALLOC,
+    FORK,
+    FREE,
+    JOIN,
+    READ,
+    RELEASE,
+    WRITE,
+)
+from repro.server import protocol as P
+
+_TENANT_SEQ = itertools.count()
+
+#: Error codes that mean "the session is parked — reconnect and resume"
+#: rather than "the session is dead".
+RECONNECTABLE = (P.E_OVERLOADED, P.E_IDLE_TIMEOUT)
+
+
+def _auto_tenant() -> str:
+    return f"client-{os.getpid()}-{next(_TENANT_SEQ)}"
+
+
+class Detector:
+    """A remote detector session on a race-detection daemon."""
+
+    def __init__(
+        self,
+        detector: str = "fasttrack",
+        *,
+        address: Tuple[str, int],
+        tenant: Optional[str] = None,
+        batch_events: int = 4096,
+        timeout: float = 30.0,
+        max_reconnects: int = 5,
+        options: Optional[dict] = None,
+    ):
+        if batch_events < 1:
+            raise ValueError("batch_events must be >= 1")
+        self.address = address
+        self.tenant = tenant or _auto_tenant()
+        self.detector = detector
+        self.batch_events = batch_events
+        self.timeout = timeout
+        self.max_reconnects = max_reconnects
+        self._options = dict(options or {})
+        #: full local journal; the resend source after a shed/reconnect
+        self._journal: List[tuple] = []
+        self._sent = 0  # rows streamed (not necessarily acked)
+        self.acked = 0  # server-acknowledged event cursor
+        self.races: List[RaceReport] = []
+        self.result: Optional[dict] = None
+        self.welcome: Optional[dict] = None
+        self.reconnects = 0
+        self.sheds_seen = 0
+        self._callbacks: List[Callable[[RaceReport], None]] = []
+        self._sock: Optional[socket.socket] = None
+        self._decoder = P.FrameDecoder()
+        self._connect(first=True)
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _connect(self, first: bool = False) -> None:
+        self._sock = socket.create_connection(
+            self.address, timeout=self.timeout
+        )
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = P.FrameDecoder()
+        options = dict(self._options)
+        options["tenant"] = self.tenant
+        options["detector"] = self.detector
+        self._sock.sendall(P.pack_frame(P.T_HELLO, P.encode_hello(options)))
+        welcome = self._wait_for(P.T_WELCOME)
+        self.welcome = P.loads_json(welcome)
+        # Resume from the server's cursor: anything past it is resent.
+        # The cursor is also a commit acknowledgement.
+        self._sent = int(self.welcome["events_done"])
+        self.acked = max(self.acked, self._sent)
+        if not first:
+            self.reconnects += 1
+
+    def _reconnect(self) -> None:
+        self._close_socket()
+        last_err: Optional[Exception] = None
+        for attempt in range(self.max_reconnects):
+            time.sleep(min(0.05 * (2**attempt), 1.0))
+            try:
+                self._connect()
+                return
+            except (OSError, P.ServerError) as exc:
+                last_err = exc
+        raise P.ServerError(
+            P.E_INTERNAL,
+            f"could not reconnect to {self.address} after "
+            f"{self.max_reconnects} attempts: {last_err}",
+        )
+
+    def _close_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    # ------------------------------------------------------------------
+    # frame pump
+    # ------------------------------------------------------------------
+    def _handle(self, ftype: int, payload: bytes) -> None:
+        if ftype == P.T_RACE:
+            race = RaceReport.from_list(P.loads_json(payload)["race"])
+            self.races.append(race)
+            for cb in self._callbacks:
+                cb(race)
+        elif ftype == P.T_ACK:
+            done, _races = P.decode_ack(payload)
+            self.acked = max(self.acked, done)
+        elif ftype == P.T_RESULT:
+            self.result = P.loads_json(payload)
+        elif ftype == P.T_ERROR:
+            body = P.loads_json(payload)
+            raise P.ServerError(
+                str(body.get("code", P.E_INTERNAL)),
+                str(body.get("message", "")),
+                bool(body.get("fatal", True)),
+            )
+        # WELCOME / STATS are consumed by their dedicated waits.
+
+    def _wait_for(self, ftype: int) -> bytes:
+        """Block until a frame of ``ftype`` arrives, handling everything
+        else (races, acks, errors) along the way."""
+        deadline = time.monotonic() + self.timeout
+        self._require_sock().settimeout(self.timeout)
+        while True:
+            for got, payload in self._pump_once():
+                if got == ftype:
+                    return payload
+                self._handle(got, payload)
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no {P.TYPE_NAMES.get(ftype)} frame within "
+                    f"{self.timeout}s"
+                )
+
+    def _require_sock(self) -> socket.socket:
+        if self._sock is None:
+            raise ConnectionError("not connected")
+        return self._sock
+
+    def _pump_once(self) -> List[Tuple[int, bytes]]:
+        data = self._require_sock().recv(1 << 16)
+        if not data:
+            raise ConnectionError("server closed the connection")
+        return self._decoder.feed(data)
+
+    def _drain_nonblocking(self) -> None:
+        """Opportunistically consume races/acks without blocking."""
+        self._sock.settimeout(0.0)
+        try:
+            while True:
+                for got, payload in self._pump_once():
+                    self._handle(got, payload)
+        except (BlockingIOError, socket.timeout):
+            pass
+        finally:
+            self._sock.settimeout(self.timeout)
+
+    # ------------------------------------------------------------------
+    # event API (dracepy-shaped)
+    # ------------------------------------------------------------------
+    def _emit(self, op: int, tid: int, addr: int, size: int, site: int):
+        if self.result is not None:
+            raise RuntimeError("session already finished")
+        self._journal.append((op, tid, addr, size, site))
+        if len(self._journal) - self._sent >= self.batch_events:
+            self.flush()
+
+    def read(self, tid: int, addr: int, size: int = 1, site: int = 0):
+        self._emit(READ, tid, addr, size, site)
+
+    def write(self, tid: int, addr: int, size: int = 1, site: int = 0):
+        self._emit(WRITE, tid, addr, size, site)
+
+    def acquire(self, tid: int, lock: int, site: int = 0):
+        self._emit(ACQUIRE, tid, lock, 1, site)
+
+    def release(self, tid: int, lock: int, site: int = 0):
+        self._emit(RELEASE, tid, lock, 1, site)
+
+    def fork(self, parent: int, child: int, site: int = 0):
+        self._emit(FORK, parent, child, 0, site)
+
+    def join(self, tid: int, joined: int, site: int = 0):
+        self._emit(JOIN, tid, joined, 0, site)
+
+    def alloc(self, tid: int, addr: int, size: int, site: int = 0):
+        self._emit(ALLOC, tid, addr, size, site)
+
+    def free(self, tid: int, addr: int, size: int = 0, site: int = 0):
+        self._emit(FREE, tid, addr, size, site)
+
+    def feed(self, events) -> None:
+        """Bulk path: append pre-built event 5-tuples."""
+        if self.result is not None:
+            raise RuntimeError("session already finished")
+        self._journal.extend(tuple(ev) for ev in events)
+        while len(self._journal) - self._sent >= self.batch_events:
+            self.flush()
+
+    def on_race(self, callback: Callable[[RaceReport], None]) -> None:
+        """Register a race callback; replayed for races already seen."""
+        for race in self.races:
+            callback(race)
+        self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Stream the unsent journal suffix, riding out sheds."""
+        self._guarded(self._flush_once)
+
+    def _flush_once(self) -> None:
+        while self._sent < len(self._journal):
+            batch = self._journal[self._sent : self._sent + self.batch_events]
+            payload = P.encode_events(batch)
+            self._require_sock().sendall(P.pack_frame(P.T_EVENTS, payload))
+            self._sent += len(batch)
+            self._drain_nonblocking()
+
+    def _guarded(self, op: Callable[[], object]):
+        """Run a send/wait op; on a parked-session signal (shed or
+        dropped connection) reconnect-resume and retry."""
+        attempts = 0
+        while True:
+            try:
+                return op()
+            except P.ServerError as exc:
+                if exc.code not in RECONNECTABLE:
+                    raise
+                self.sheds_seen += 1
+            except (ConnectionError, socket.timeout, OSError):
+                pass
+            attempts += 1
+            if attempts > self.max_reconnects:
+                raise P.ServerError(
+                    P.E_INTERNAL,
+                    f"session did not survive {attempts} reconnect cycles",
+                )
+            self._reconnect()
+
+    def sync(self) -> None:
+        """Flush and block until the server has *committed* (acked)
+        every journaled event — the ingest-latency probe the load
+        generator times."""
+        target = len(self._journal)
+
+        def run():
+            self._flush_once()
+            deadline = time.monotonic() + self.timeout
+            self._require_sock().settimeout(self.timeout)
+            while self.acked < target:
+                for got, payload in self._pump_once():
+                    self._handle(got, payload)
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"server did not ack {target} events within "
+                        f"{self.timeout}s"
+                    )
+
+        self._guarded(run)
+
+    def finish(self) -> dict:
+        """Flush everything, send FINISH, block for the RESULT body."""
+        if self.result is not None:
+            return self.result
+
+        def run():
+            self._flush_once()
+            self._require_sock().sendall(P.pack_frame(P.T_FINISH))
+            payload = self._wait_for(P.T_RESULT)
+            self.result = P.loads_json(payload)
+            return self.result
+
+        result = self._guarded(run)
+        self._close_socket()
+        return result
+
+    def stats(self) -> dict:
+        """The daemon's global stats snapshot (STATS_REQ round trip)."""
+        def run():
+            self._require_sock().sendall(P.pack_frame(P.T_STATS_REQ))
+            return P.loads_json(self._wait_for(P.T_STATS))
+
+        return self._guarded(run)
+
+    def close(self) -> None:
+        self._close_socket()
+
+    def __enter__(self) -> "Detector":
+        return self
+
+    def __exit__(self, exc_type, *_rest) -> None:
+        if exc_type is None and self.result is None:
+            self.finish()
+        else:
+            self.close()
+
+
+def server_stats(address: Tuple[str, int], timeout: float = 10.0) -> dict:
+    """One-shot stats probe on a fresh connection (no session)."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(P.pack_frame(P.T_STATS_REQ))
+        decoder = P.FrameDecoder()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            data = sock.recv(1 << 16)
+            if not data:
+                break
+            for ftype, payload in decoder.feed(data):
+                if ftype == P.T_STATS:
+                    return P.loads_json(payload)
+    raise TimeoutError(f"no STATS reply from {address}")

@@ -1,0 +1,380 @@
+"""Load generator + fault campaign for the detection daemon.
+
+Streams N tenants' worth of recorded workload traces at a server
+concurrently, times per-batch ingest latency (send → commit ack),
+acts out the client-misbehaviour fault kinds from
+:data:`repro.runtime.faults.SERVER_KINDS` on the wire, and verifies the
+service invariant end to end: every tenant's RESULT — races *and*
+detector statistics — must be byte-identical to a local uninterrupted
+run of the same detector over the same events, no matter how many
+kills, sheds, drops and reconnects happened along the way.
+
+Writes ``BENCH_server.json``::
+
+    {
+      "latency_ms": {"p50": ..., "p99": ..., ...},
+      "throughput_eps": ...,
+      "faults": {"kill": 1, "drop-connection": 1, ...},
+      "server": {"sheds": ..., "resumes": ..., "wedges": ...},
+      "recovery_divergences": 0,
+      ...
+    }
+
+``recovery_divergences`` is the CI gate: any nonzero value means a
+migrated session diverged from its uninterrupted twin.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.faults import (
+    CORRUPT_FRAME,
+    DROP_CONNECTION,
+    STALL_CLIENT,
+)
+from repro.server import protocol as P
+from repro.server.client import Detector, server_stats
+from repro.server.daemon import (
+    DETECTOR_ALIASES,
+    ServerConfig,
+    ServerThread,
+)
+
+#: Fault assignment cycle across tenants.  Index 0 keeps one clean
+#: control tenant; ``kill`` injects a detector kill (migration path);
+#: ``flood`` streams without waiting for acks (backpressure path); the
+#: remaining kinds are the wire faults from SERVER_KINDS.
+_FAULT_CYCLE = (
+    None,
+    "kill",
+    DROP_CONNECTION,
+    "flood",
+    CORRUPT_FRAME,
+    STALL_CLIENT,
+)
+
+_GARBAGE = b"\xee" * 64  # an unknown frame type followed by junk
+
+
+def _tenant_events(workload: str, scale: float, seed: int) -> List[tuple]:
+    from repro.workloads.registry import build_trace
+
+    trace = build_trace(workload, scale=scale, seed=seed)
+    return [tuple(ev) for ev in trace.events]
+
+
+def _baseline(detector: str, events: List[tuple]) -> dict:
+    """The uninterrupted twin: same detector, same events, in process."""
+    from repro.detectors.registry import create_detector
+    from repro.runtime.vm import dispatch_event
+
+    det = create_detector(DETECTOR_ALIASES.get(detector, detector))
+    for ev in events:
+        dispatch_event(det, ev)
+    det.finish()
+    return {
+        "races": [r.as_list() for r in det.races],
+        "stats": det.statistics(),
+    }
+
+
+class _TenantRun(threading.Thread):
+    """One tenant: stream, misbehave on schedule, verify at the end."""
+
+    def __init__(
+        self,
+        index: int,
+        address: Tuple[str, int],
+        events: List[tuple],
+        detector: str,
+        batch_events: int,
+        fault: Optional[str],
+        stall_seconds: float,
+        timeout: float,
+    ):
+        super().__init__(name=f"loadgen-t{index}", daemon=True)
+        self.index = index
+        self.address = address
+        self.events = events
+        self.detector = detector
+        self.batch_events = batch_events
+        self.fault = fault
+        self.stall_seconds = stall_seconds
+        self.timeout = timeout
+        # Fire wire faults mid-stream, kills mid-detector: both land
+        # far from the edges so recovery really has state to rebuild.
+        self.fault_at = max(1, len(events) // 2)
+        self.latencies_s: List[float] = []
+        self.result: Optional[dict] = None
+        self.divergent = False
+        self.error: Optional[BaseException] = None
+        self.client: Optional[Detector] = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via loadgen
+        try:
+            self._run()
+        except BaseException as exc:  # noqa: BLE001 - reported upstream
+            self.error = exc
+
+    def _run(self) -> None:
+        options = {}
+        if self.fault == "kill":
+            options["kill_at"] = [self.fault_at]
+        client = Detector(
+            self.detector,
+            address=self.address,
+            tenant=f"loadgen-{self.index}",
+            batch_events=self.batch_events,
+            timeout=self.timeout,
+            options=options,
+        )
+        self.client = client
+        if self.fault == "flood":
+            # Fire-and-forget streaming: no per-batch sync, so the
+            # server's ingest queue fills and the watermark machinery
+            # (pause -> resume, shed if stuck) does the flow control.
+            client.feed(self.events)
+            client.sync()
+        else:
+            fault_pending = self.fault in (
+                DROP_CONNECTION,
+                CORRUPT_FRAME,
+                STALL_CLIENT,
+            )
+            pos = 0
+            while pos < len(self.events):
+                if fault_pending and pos >= self.fault_at:
+                    fault_pending = False
+                    self._misbehave(client)
+                batch = self.events[pos : pos + self.batch_events]
+                client.feed(batch)
+                t0 = time.perf_counter()
+                client.sync()
+                self.latencies_s.append(time.perf_counter() - t0)
+                pos += len(batch)
+        self.result = client.finish()
+        baseline = _baseline(self.detector, self.events)
+        served = {
+            "races": self.result["races"],
+            "stats": self.result["stats"],
+        }
+        self.divergent = P.dumps_canonical(served) != P.dumps_canonical(
+            baseline
+        )
+
+    def _misbehave(self, client: Detector) -> None:
+        if self.fault == DROP_CONNECTION:
+            # Vanish without a goodbye; the next sync reconnect-resumes.
+            client._close_socket()
+        elif self.fault == CORRUPT_FRAME:
+            # Garbage on the wire: the server answers with a typed
+            # error that poisons only this session.  Absorb it, then
+            # reconnect-resume.
+            try:
+                client._sock.sendall(_GARBAGE)
+                client._wait_for(P.T_RESULT)  # the ERROR arrives first
+            except P.ServerError as exc:
+                if exc.code != P.E_BAD_FRAME:
+                    raise
+                client._reconnect()
+            except (OSError, TimeoutError):
+                client._reconnect()
+        elif self.fault == STALL_CLIENT:
+            # Go silent past the idle deadline; the server sheds us.
+            time.sleep(self.stall_seconds)
+
+
+def run_loadgen(
+    address: Optional[Tuple[str, int]] = None,
+    *,
+    tenants: int = 4,
+    workload: str = "pbzip2",
+    scale: float = 0.3,
+    seed: int = 0,
+    detector: str = "fasttrack",
+    batch_events: int = 2048,
+    faults: bool = True,
+    quick: bool = False,
+    timeout: float = 30.0,
+    out: Optional[str] = "BENCH_server.json",
+    server_config: Optional[ServerConfig] = None,
+) -> Dict[str, object]:
+    """Run the campaign; return (and optionally write) the bench body.
+
+    With ``address=None`` an in-process daemon is started on an
+    ephemeral port and torn down afterwards — the default for tests and
+    CI.  Point ``address`` at a running ``repro-race serve`` to bench a
+    real deployment (the ``stall-client`` fault is skipped unless that
+    server enforces an idle timeout).
+    """
+    if quick:
+        # 4 tenants = one clean + kill + drop-connection + flood, so the
+        # smoke still covers migration, reconnect and backpressure.
+        tenants = min(max(tenants, 4), 4)
+        scale = min(scale, 0.08)
+        batch_events = min(batch_events, 512)
+
+    handle: Optional[ServerThread] = None
+    stall_seconds = 0.0
+    if address is None:
+        config = server_config or ServerConfig(
+            checkpoint_root=".repro-race/server-ckpts",
+            checkpoint_every=max(256, batch_events // 2),
+            idle_timeout=0.5,
+            detach_ttl=10.0,
+            watchdog_timeout=10.0,
+            shed_after=5.0,
+            # Tight watermarks so the flood tenant actually exercises
+            # pause/resume at bench scale.
+            high_watermark=96 << 10,
+            low_watermark=32 << 10,
+        )
+        handle = ServerThread(config).start()
+        address = handle.address
+        stall_seconds = (config.idle_timeout or 0.5) * 2.5
+    in_process = handle is not None
+
+    runs: List[_TenantRun] = []
+    for i in range(tenants):
+        fault = _FAULT_CYCLE[i % len(_FAULT_CYCLE)] if faults else None
+        if fault == STALL_CLIENT and not in_process:
+            fault = DROP_CONNECTION  # idle timeout unknown remotely
+        runs.append(
+            _TenantRun(
+                i,
+                address,
+                _tenant_events(workload, scale, seed + i),
+                detector,
+                batch_events,
+                fault,
+                stall_seconds,
+                timeout,
+            )
+        )
+
+    t0 = time.perf_counter()
+    for run in runs:
+        run.start()
+    for run in runs:
+        run.join(timeout=300)
+    wall = time.perf_counter() - t0
+
+    errors = [f"{r.name}: {r.error!r}" for r in runs if r.error]
+    if errors:
+        raise RuntimeError("loadgen tenants failed: " + "; ".join(errors))
+
+    stats = (
+        handle.server.snapshot_stats()
+        if handle is not None
+        else server_stats(address, timeout=timeout)
+    )
+    if handle is not None:
+        handle.stop()
+
+    lat_ms = np.asarray(
+        [s * 1000.0 for r in runs for s in r.latencies_s], dtype=float
+    )
+    events_total = sum(len(r.events) for r in runs)
+    fault_counts: Dict[str, int] = {}
+    for r in runs:
+        if r.fault:
+            fault_counts[r.fault] = fault_counts.get(r.fault, 0) + 1
+    divergences = sum(1 for r in runs if r.divergent)
+
+    body: Dict[str, object] = {
+        "config": {
+            "tenants": tenants,
+            "workload": workload,
+            "scale": scale,
+            "seed": seed,
+            "detector": DETECTOR_ALIASES.get(detector, detector),
+            "batch_events": batch_events,
+            "faults": bool(faults),
+            "quick": bool(quick),
+            "in_process_server": in_process,
+        },
+        "events_total": events_total,
+        "wall_s": round(wall, 4),
+        "throughput_eps": round(events_total / wall, 1) if wall else 0.0,
+        "latency_ms": {
+            "p50": round(float(np.percentile(lat_ms, 50)), 3),
+            "p99": round(float(np.percentile(lat_ms, 99)), 3),
+            "mean": round(float(lat_ms.mean()), 3),
+            "max": round(float(lat_ms.max()), 3),
+            "samples": int(lat_ms.size),
+        }
+        if lat_ms.size
+        else {"samples": 0},
+        "faults_injected": fault_counts,
+        "server": {
+            key: stats.get(key, 0)
+            for key in (
+                "sessions_started",
+                "sessions_finished",
+                "reconnects",
+                "protocol_errors",
+                "pauses",
+                "sheds",
+                "idle_sheds",
+                "wedges",
+                "kills",
+                "crashes",
+                "resumes",
+                "cold_restarts",
+                "retries",
+                "recovery_failures",
+                "events_total",
+                "races_total",
+                "max_queue_bytes",
+            )
+        },
+        "client": {
+            "reconnects": sum(r.client.reconnects for r in runs if r.client),
+            "sheds_seen": sum(r.client.sheds_seen for r in runs if r.client),
+        },
+        "tenants": [
+            {
+                "tenant": f"loadgen-{r.index}",
+                "fault": r.fault,
+                "events": len(r.events),
+                "races": len(r.result["races"]) if r.result else None,
+                "reconnects": r.client.reconnects if r.client else 0,
+                "divergent": r.divergent,
+            }
+            for r in runs
+        ],
+        "recovery_divergences": divergences,
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(body, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return body
+
+
+def format_loadgen(body: Dict[str, object]) -> str:
+    lat = body["latency_ms"]
+    srv = body["server"]
+    lines = [
+        f"loadgen: {body['config']['tenants']} tenant(s), "
+        f"{body['events_total']} events in {body['wall_s']}s "
+        f"({body['throughput_eps']:.0f} ev/s)",
+        (
+            f"  ingest latency p50 {lat['p50']}ms  p99 {lat['p99']}ms  "
+            f"max {lat['max']}ms ({lat['samples']} batches)"
+            if lat.get("samples")
+            else "  ingest latency: no samples"
+        ),
+        f"  faults injected: {body['faults_injected'] or 'none'}",
+        f"  server: {srv['sheds']} shed(s), {srv['pauses']} pause(s), "
+        f"{srv['resumes']} resume(s), {srv['kills']} kill(s), "
+        f"{srv['wedges']} wedge(s), {srv['reconnects']} reconnect(s)",
+        f"  recovery divergences: {body['recovery_divergences']}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,323 @@
+"""Wire protocol of the detection daemon: length-prefixed binary frames.
+
+Every frame is ``<B type><I length>`` (5 bytes, little-endian) followed
+by ``length`` payload bytes.  Event payloads reuse the canonical binlog
+record format (:mod:`repro.perf.binlog`): each event is one 40-byte
+``<5q`` row ``(op, tid, addr, size, site)`` — the exact bytes
+``Trace.binlog()`` stores, so a recorded trace streams to the server
+with no re-encoding.  Everything else (handshakes, results, errors) is
+canonical JSON: sorted keys, no whitespace — deterministic bytes, so
+result frames inherit the recovery subsystem's byte-identity contract.
+
+Robustness rules, enforced by :class:`FrameDecoder` and the codecs:
+
+* A frame longer than ``max_frame`` is rejected *from its header* —
+  the decoder never buffers unbounded garbage (``FRAME_TOO_LARGE``).
+* Unknown frame types, short/ragged event payloads, out-of-range op
+  codes and undecodable JSON all raise :class:`ProtocolError` with a
+  stable machine-readable ``code``.
+* A :class:`ProtocolError` poisons only the session that sent the bad
+  bytes; the daemon converts it into a typed ``ERROR`` frame on that
+  connection and keeps serving everyone else.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+#: First bytes of every HELLO payload: protocol magic + version.
+HELLO_MAGIC = b"RRSRV1\n"
+PROTO_VERSION = 1
+
+_FRAME_HEADER = struct.Struct("<BI")
+FRAME_HEADER_BYTES = _FRAME_HEADER.size  # 5
+_HELLO_HEAD = struct.Struct("<H")  # version, after the magic
+
+#: One event row on the wire: (op, tid, addr, size, site) little-endian
+#: int64 — identical to a binlog event record.
+EVENT_STRUCT = struct.Struct("<5q")
+EVENT_BYTES = EVENT_STRUCT.size  # 40
+
+#: Default per-frame byte cap (payload), server- and client-side.
+MAX_FRAME = 4 * 1024 * 1024
+
+_N_OPS = 8  # READ..FREE, repro.runtime.events
+
+# -- frame types -------------------------------------------------------
+# client -> server
+T_HELLO = 0x01
+T_EVENTS = 0x02
+T_FINISH = 0x03
+T_STATS_REQ = 0x04
+# server -> client
+T_WELCOME = 0x10
+T_ACK = 0x11
+T_RACE = 0x12
+T_RESULT = 0x13
+T_ERROR = 0x14
+T_STATS = 0x15
+
+FRAME_TYPES = (
+    T_HELLO,
+    T_EVENTS,
+    T_FINISH,
+    T_STATS_REQ,
+    T_WELCOME,
+    T_ACK,
+    T_RACE,
+    T_RESULT,
+    T_ERROR,
+    T_STATS,
+)
+
+TYPE_NAMES = {
+    T_HELLO: "HELLO",
+    T_EVENTS: "EVENTS",
+    T_FINISH: "FINISH",
+    T_STATS_REQ: "STATS_REQ",
+    T_WELCOME: "WELCOME",
+    T_ACK: "ACK",
+    T_RACE: "RACE",
+    T_RESULT: "RESULT",
+    T_ERROR: "ERROR",
+    T_STATS: "STATS",
+}
+
+# -- typed error codes -------------------------------------------------
+E_BAD_MAGIC = "BAD_MAGIC"
+E_BAD_VERSION = "BAD_VERSION"
+E_BAD_FRAME = "BAD_FRAME"
+E_FRAME_TOO_LARGE = "FRAME_TOO_LARGE"
+E_BAD_PAYLOAD = "BAD_PAYLOAD"
+E_BAD_EVENT = "BAD_EVENT"
+E_BAD_HELLO = "BAD_HELLO"
+E_UNKNOWN_DETECTOR = "UNKNOWN_DETECTOR"
+E_TENANT_BUSY = "TENANT_BUSY"
+E_OVERLOADED = "OVERLOADED"
+E_IDLE_TIMEOUT = "IDLE_TIMEOUT"
+E_RECOVERY_FAILED = "RECOVERY_FAILED"
+E_SHUTTING_DOWN = "SHUTTING_DOWN"
+E_INTERNAL = "INTERNAL"
+
+ERROR_CODES = (
+    E_BAD_MAGIC,
+    E_BAD_VERSION,
+    E_BAD_FRAME,
+    E_FRAME_TOO_LARGE,
+    E_BAD_PAYLOAD,
+    E_BAD_EVENT,
+    E_BAD_HELLO,
+    E_UNKNOWN_DETECTOR,
+    E_TENANT_BUSY,
+    E_OVERLOADED,
+    E_IDLE_TIMEOUT,
+    E_RECOVERY_FAILED,
+    E_SHUTTING_DOWN,
+    E_INTERNAL,
+)
+
+
+class ProtocolError(Exception):
+    """A malformed frame (or stream).  ``code`` is one of
+    :data:`ERROR_CODES`; the daemon echoes it in the ERROR frame it
+    sends before dropping the offending session."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServerError(Exception):
+    """Client-side: the server replied with an ERROR frame."""
+
+    def __init__(self, code: str, message: str, fatal: bool = True):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.fatal = fatal
+
+
+# ----------------------------------------------------------------------
+# canonical JSON
+# ----------------------------------------------------------------------
+def dumps_canonical(obj: object) -> bytes:
+    """Deterministic JSON bytes (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def loads_json(payload: bytes) -> dict:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(E_BAD_PAYLOAD, f"undecodable JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            E_BAD_PAYLOAD, f"expected JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def pack_frame(ftype: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header + payload."""
+    return _FRAME_HEADER.pack(ftype, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for one connection.
+
+    Feed arbitrary byte chunks; iterate complete ``(type, payload)``
+    frames.  Validation is front-loaded: a bad type or oversized length
+    raises from the 5 header bytes alone, before any payload is
+    buffered, so a hostile client cannot make the daemon allocate more
+    than ``max_frame`` per connection.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME):
+        self.max_frame = max_frame
+        self._buf = bytearray()
+        self._need: Optional[Tuple[int, int]] = None  # (ftype, length)
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently held (bounded by header + max_frame)."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        """Append ``data``; return every frame it completed."""
+        self._buf.extend(data)
+        frames: List[Tuple[int, bytes]] = []
+        while True:
+            if self._need is None:
+                if len(self._buf) < FRAME_HEADER_BYTES:
+                    break
+                ftype, length = _FRAME_HEADER.unpack_from(self._buf, 0)
+                if ftype not in TYPE_NAMES:
+                    raise ProtocolError(
+                        E_BAD_FRAME, f"unknown frame type 0x{ftype:02x}"
+                    )
+                if length > self.max_frame:
+                    raise ProtocolError(
+                        E_FRAME_TOO_LARGE,
+                        f"{TYPE_NAMES[ftype]} frame of {length} bytes "
+                        f"exceeds the {self.max_frame}-byte cap",
+                    )
+                del self._buf[:FRAME_HEADER_BYTES]
+                self._need = (ftype, length)
+            ftype, length = self._need
+            if len(self._buf) < length:
+                break
+            payload = bytes(self._buf[:length])
+            del self._buf[:length]
+            self._need = None
+            frames.append((ftype, payload))
+        return frames
+
+
+# ----------------------------------------------------------------------
+# event payloads (binlog row format)
+# ----------------------------------------------------------------------
+def encode_events(events) -> bytes:
+    """Pack event 5-tuples into consecutive ``<5q`` rows."""
+    arr = np.asarray(events, dtype="<i8")
+    if arr.ndim != 2 or arr.shape[1] != 5:
+        raise ValueError(f"expected (n, 5) events, got shape {arr.shape}")
+    return arr.tobytes()
+
+
+def decode_events(payload: bytes) -> List[tuple]:
+    """Unpack and validate an EVENTS payload into event 5-tuples.
+
+    Rejects ragged payloads (not a multiple of the 40-byte record),
+    unknown op codes, and negative sizes — each with a typed
+    :class:`ProtocolError` so one malformed batch can only ever poison
+    its own session.
+    """
+    if len(payload) == 0:
+        return []
+    if len(payload) % EVENT_BYTES:
+        raise ProtocolError(
+            E_BAD_EVENT,
+            f"events payload of {len(payload)} bytes is not a multiple "
+            f"of the {EVENT_BYTES}-byte record",
+        )
+    arr = np.frombuffer(payload, dtype="<i8").reshape(-1, 5)
+    ops = arr[:, 0]
+    if ops.min(initial=0) < 0 or ops.max(initial=0) >= _N_OPS:
+        bad = int(ops[(ops < 0) | (ops >= _N_OPS)][0])
+        raise ProtocolError(E_BAD_EVENT, f"unknown op code {bad}")
+    if arr[:, 1].min(initial=0) < 0:
+        raise ProtocolError(E_BAD_EVENT, "negative thread id")
+    if arr[:, 3].min(initial=0) < 0:
+        raise ProtocolError(E_BAD_EVENT, "negative size")
+    return [tuple(row) for row in arr.tolist()]
+
+
+def iter_event_chunks(
+    events, chunk_events: int
+) -> Iterator[bytes]:
+    """Split an event list into EVENTS payloads of at most
+    ``chunk_events`` rows (client-side streaming helper)."""
+    for start in range(0, len(events), chunk_events):
+        yield encode_events(events[start : start + chunk_events])
+
+
+# ----------------------------------------------------------------------
+# control payloads
+# ----------------------------------------------------------------------
+def encode_hello(options: dict) -> bytes:
+    """HELLO payload: magic + version + canonical-JSON options."""
+    return HELLO_MAGIC + _HELLO_HEAD.pack(PROTO_VERSION) + dumps_canonical(
+        options
+    )
+
+
+def decode_hello(payload: bytes) -> dict:
+    head = len(HELLO_MAGIC)
+    if payload[:head] != HELLO_MAGIC:
+        raise ProtocolError(
+            E_BAD_MAGIC, f"bad hello magic {bytes(payload[:head])!r}"
+        )
+    if len(payload) < head + _HELLO_HEAD.size:
+        raise ProtocolError(E_BAD_HELLO, "hello truncated before version")
+    (version,) = _HELLO_HEAD.unpack_from(payload, head)
+    if version != PROTO_VERSION:
+        raise ProtocolError(
+            E_BAD_VERSION,
+            f"protocol version {version}, this server speaks "
+            f"{PROTO_VERSION}",
+        )
+    options = loads_json(payload[head + _HELLO_HEAD.size :])
+    if "tenant" not in options or not str(options["tenant"]):
+        raise ProtocolError(E_BAD_HELLO, "hello options missing 'tenant'")
+    return options
+
+
+def error_frame(code: str, message: str, fatal: bool = True) -> bytes:
+    return pack_frame(
+        T_ERROR,
+        dumps_canonical({"code": code, "message": message, "fatal": fatal}),
+    )
+
+
+_ACK = struct.Struct("<2Q")  # events_done, races_so_far
+
+
+def ack_frame(events_done: int, races: int) -> bytes:
+    return pack_frame(T_ACK, _ACK.pack(events_done, races))
+
+
+def decode_ack(payload: bytes) -> Tuple[int, int]:
+    if len(payload) != _ACK.size:
+        raise ProtocolError(E_BAD_PAYLOAD, f"ack of {len(payload)} bytes")
+    done, races = _ACK.unpack(payload)
+    return done, races

@@ -190,3 +190,69 @@ def test_transport_cost_pickle_side_matches_real_payload(trace):
     )
     cost = transport_cost(trace, det, shards=4)
     assert cost["pickle_bytes"] == expected
+
+
+# ----------------------------------------------------------------------
+# abnormal-exit reclaim: release must never raise during cleanup
+# ----------------------------------------------------------------------
+def _published_ring(trace):
+    sharded_replay(
+        trace, create_detector("fasttrack-byte"), 4, batched=True, processes=2
+    )
+    assert trace._shm_rings
+    return next(iter(trace._shm_rings.values()))
+
+
+def test_destroy_is_idempotent():
+    trace = build_trace("pbzip2", scale=0.05, seed=0)
+    ring = _published_ring(trace)
+    ring.destroy()
+    ring.destroy()  # second call is a silent no-op
+    trace.release_shared()
+
+
+def test_release_tolerates_externally_unlinked_segment():
+    """A crashed publisher's segment can be unlinked out from under us
+    (resource tracker, another cleanup path); atexit reclaim must not
+    raise."""
+    trace = build_trace("pbzip2", scale=0.05, seed=0)
+    ring = _published_ring(trace)
+    ring._shm.unlink()  # simulate the external unlink
+    trace.release_shared()  # no raise
+    assert trace._shm_rings == {}
+    trace.release_shared()
+
+
+def test_atexit_backstop_survives_unlinked_segment():
+    trace = build_trace("pbzip2", scale=0.05, seed=0)
+    ring = _published_ring(trace)
+    assert ring.name in binlog._LIVE_RINGS
+    ring._shm.unlink()
+    binlog._atexit_release()  # interpreter-teardown path, must not raise
+    assert ring.name not in binlog._LIVE_RINGS
+    trace.release_shared()
+
+
+def test_destroy_after_close_is_silent():
+    trace = build_trace("pbzip2", scale=0.05, seed=0)
+    ring = _published_ring(trace)
+    ring.close()
+    ring.destroy()
+    trace.release_shared()
+
+
+def test_release_shared_isolates_broken_ring():
+    """One ring whose destroy raises must not abort reclaim of the rest
+    or leak out of release_shared."""
+    trace = build_trace("pbzip2", scale=0.05, seed=0)
+    good = _published_ring(trace)
+
+    class _Broken:
+        def destroy(self):
+            raise RuntimeError("simulated reclaim bug")
+
+    trace._shm_rings["broken"] = _Broken()
+    trace.release_shared()  # no raise
+    assert trace._shm_rings == {}
+    with pytest.raises(FileNotFoundError):
+        binlog.ShmFeedRing.attach(good.name)

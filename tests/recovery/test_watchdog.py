@@ -1,0 +1,202 @@
+"""The shared monotonic-deadline watchdog, on and off the main thread."""
+
+import threading
+import time
+
+import pytest
+
+from repro.recovery import (
+    DetectionSession,
+    MonotonicWatchdog,
+    Supervisor,
+    SupervisorError,
+    WatchdogTimeout,
+    shared_watchdog,
+)
+from repro.workloads.base import default_suppression
+from repro.workloads.registry import build_trace
+
+
+def _wait_until(predicate, timeout=5.0):
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestMonotonicWatchdog:
+    def test_expires_and_fires_callback(self):
+        wd = MonotonicWatchdog()
+        fired = threading.Event()
+        handle = wd.arm(0.05, on_expire=fired.set)
+        assert not handle.expired
+        assert fired.wait(2.0)
+        assert handle.expired
+        assert not handle.cancel()  # lost the race: already fired
+
+    def test_cancel_prevents_expiry(self):
+        wd = MonotonicWatchdog()
+        fired = threading.Event()
+        handle = wd.arm(0.08, on_expire=fired.set)
+        assert handle.cancel()
+        assert not fired.wait(0.3)
+        assert not handle.expired
+        assert handle.cancelled
+
+    def test_many_deadlines_fire_independently(self):
+        wd = MonotonicWatchdog()
+        early = wd.arm(0.03)
+        late = wd.arm(10.0)
+        assert _wait_until(lambda: early.expired)
+        assert not late.expired
+        assert late.cancel()
+
+    def test_arm_rejects_nonpositive(self):
+        wd = MonotonicWatchdog()
+        with pytest.raises(ValueError):
+            wd.arm(0)
+
+    def test_callback_exception_does_not_kill_monitor(self):
+        wd = MonotonicWatchdog()
+
+        def boom():
+            raise RuntimeError("callback bug")
+
+        wd.arm(0.02, on_expire=boom)
+        after = wd.arm(0.05)
+        assert _wait_until(lambda: after.expired)
+
+    def test_shared_watchdog_is_singleton(self):
+        assert shared_watchdog() is shared_watchdog()
+
+    def test_remaining_counts_down(self):
+        wd = MonotonicWatchdog()
+        handle = wd.arm(5.0)
+        assert 4.0 < handle.remaining() <= 5.0
+        handle.cancel()
+
+
+class _SlowDetector:
+    """Takes ~40ms per access callback — guaranteed to trip a 0.1s
+    deadline on any trace with a handful of accesses."""
+
+    name = "slow"
+
+    def __init__(self):
+        self.races = []
+
+    def __getattr__(self, attr):
+        if attr.startswith("on_"):
+            def cb(*_a, **_k):
+                time.sleep(0.04)
+            return cb
+        raise AttributeError(attr)
+
+    def finish(self):
+        pass
+
+    def statistics(self):
+        return {}
+
+    def snapshot_state(self):
+        return {"races": [], "racy": []}
+
+    def restore_state(self, state):
+        pass
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return build_trace("ffmpeg", scale=0.05, seed=1)
+
+
+def test_supervisor_timeout_off_main_thread(tmp_path, small_trace):
+    """The refactored watchdog times attempts out from a worker thread,
+    where the old SIGALRM-only implementation silently never fired."""
+    session = DetectionSession(
+        small_trace,
+        _SlowDetector,
+        checkpoint_dir=str(tmp_path / "ckpts"),
+        checkpoint_every=10**9,
+    )
+    sup = Supervisor(
+        session,
+        watchdog_timeout=0.1,
+        max_retries=1,
+        sleep=lambda _s: None,
+    )
+    outcome = {}
+
+    def run():
+        try:
+            sup.run()
+            outcome["result"] = "completed"
+        except SupervisorError as exc:
+            outcome["result"] = exc
+
+    worker = threading.Thread(target=run)
+    worker.start()
+    worker.join(timeout=30)
+    assert not worker.is_alive()
+    assert isinstance(outcome["result"], SupervisorError)
+    assert session.recovery["timeouts"] >= 1
+
+
+def test_supervisor_timeout_on_main_thread_still_works(tmp_path, small_trace):
+    session = DetectionSession(
+        small_trace,
+        _SlowDetector,
+        checkpoint_dir=str(tmp_path / "ckpts"),
+        checkpoint_every=10**9,
+    )
+    sup = Supervisor(
+        session,
+        watchdog_timeout=0.1,
+        max_retries=1,
+        sleep=lambda _s: None,
+    )
+    with pytest.raises(SupervisorError):
+        sup.run()
+    assert session.recovery["timeouts"] >= 1
+
+
+def test_no_timeout_leaves_abort_check_untouched(tmp_path, small_trace):
+    session = DetectionSession(
+        small_trace,
+        "fasttrack-byte",
+        checkpoint_dir=str(tmp_path / "ckpts"),
+        suppress=default_suppression,
+        checkpoint_every=10**9,
+    )
+    result = Supervisor(session, sleep=lambda _s: None).run()
+    assert session.abort_check is None
+    assert result.stats["recovery"]["timeouts"] == 0
+
+
+def test_generous_deadline_does_not_interrupt(tmp_path, small_trace):
+    session = DetectionSession(
+        small_trace,
+        "fasttrack-byte",
+        checkpoint_dir=str(tmp_path / "ckpts"),
+        suppress=default_suppression,
+        checkpoint_every=10**9,
+    )
+    result = Supervisor(
+        session, watchdog_timeout=60.0, sleep=lambda _s: None
+    ).run()
+    assert result.stats["recovery"]["timeouts"] == 0
+
+
+def test_session_abort_check_raises_watchdog_timeout(tmp_path, small_trace):
+    session = DetectionSession(
+        small_trace,
+        "fasttrack-byte",
+        checkpoint_dir=str(tmp_path / "ckpts"),
+        suppress=default_suppression,
+        checkpoint_every=10**9,
+    )
+    session.abort_check = lambda: True
+    with pytest.raises(WatchdogTimeout):
+        session.run()

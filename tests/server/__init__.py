@@ -1,0 +1,1 @@
+"""Detection-server test suite."""

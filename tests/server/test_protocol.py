@@ -1,0 +1,175 @@
+"""Framing robustness: every malformed input gets a *typed* rejection.
+
+The daemon-level guarantee (one bad session never hurts another) starts
+here — the decoder must reject garbage from the header bytes alone,
+never buffer unbounded input, and classify every failure with a stable
+error code a client can act on.
+"""
+
+import struct
+
+import pytest
+
+from repro.server import protocol as P
+
+
+def _frames(*chunks):
+    dec = P.FrameDecoder()
+    out = []
+    for chunk in chunks:
+        out.extend(dec.feed(chunk))
+    return out
+
+
+class TestFrameDecoder:
+    def test_roundtrip_single(self):
+        frame = P.pack_frame(P.T_FINISH)
+        assert _frames(frame) == [(P.T_FINISH, b"")]
+
+    def test_roundtrip_payload(self):
+        frame = P.pack_frame(P.T_EVENTS, b"x" * 80)
+        assert _frames(frame) == [(P.T_EVENTS, b"x" * 80)]
+
+    def test_byte_at_a_time(self):
+        frame = P.pack_frame(P.T_RESULT, b"{}")
+        dec = P.FrameDecoder()
+        got = []
+        for i in range(len(frame)):
+            got.extend(dec.feed(frame[i : i + 1]))
+        assert got == [(P.T_RESULT, b"{}")]
+
+    def test_coalesced_frames(self):
+        blob = P.pack_frame(P.T_FINISH) + P.pack_frame(P.T_STATS_REQ)
+        assert [t for t, _ in _frames(blob)] == [P.T_FINISH, P.T_STATS_REQ]
+
+    def test_truncated_frame_is_incomplete_not_error(self):
+        frame = P.pack_frame(P.T_EVENTS, b"y" * 200)
+        dec = P.FrameDecoder()
+        assert dec.feed(frame[:50]) == []
+        assert dec.feed(frame[50:]) == [(P.T_EVENTS, b"y" * 200)]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(P.ProtocolError) as err:
+            _frames(struct.pack("<BI", 0xEE, 0))
+        assert err.value.code == P.E_BAD_FRAME
+
+    def test_oversized_rejected_from_header(self):
+        dec = P.FrameDecoder(max_frame=1024)
+        header = struct.pack("<BI", P.T_EVENTS, 1 << 30)
+        with pytest.raises(P.ProtocolError) as err:
+            dec.feed(header)  # no payload bytes needed to reject
+        assert err.value.code == P.E_FRAME_TOO_LARGE
+
+    def test_buffer_stays_bounded(self):
+        dec = P.FrameDecoder(max_frame=1024)
+        dec.feed(struct.pack("<BI", P.T_EVENTS, 1024))
+        dec.feed(b"z" * 500)
+        assert dec.buffered <= 1024
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(P.ProtocolError):
+            _frames(b"\xde\xad\xbe\xef" * 10)
+
+
+class TestEventCodec:
+    def test_roundtrip(self):
+        events = [(1, 0, 4096, 4, 7), (0, 3, 8192, 8, 9)]
+        assert P.decode_events(P.encode_events(events)) == events
+
+    def test_empty(self):
+        assert P.decode_events(b"") == []
+
+    def test_ragged_payload(self):
+        with pytest.raises(P.ProtocolError) as err:
+            P.decode_events(b"a" * (P.EVENT_BYTES + 1))
+        assert err.value.code == P.E_BAD_EVENT
+
+    def test_unknown_opcode(self):
+        payload = P.encode_events([(200, 0, 0, 0, 0)])
+        with pytest.raises(P.ProtocolError) as err:
+            P.decode_events(payload)
+        assert err.value.code == P.E_BAD_EVENT
+
+    def test_negative_tid(self):
+        payload = P.encode_events([(1, -4, 0, 0, 0)])
+        with pytest.raises(P.ProtocolError) as err:
+            P.decode_events(payload)
+        assert err.value.code == P.E_BAD_EVENT
+
+    def test_chunking(self):
+        events = [(0, 0, i, 1, 0) for i in range(10)]
+        chunks = list(P.iter_event_chunks(events, 4))
+        assert [len(c) // P.EVENT_BYTES for c in chunks] == [4, 4, 2]
+        rejoined = [e for c in chunks for e in P.decode_events(c)]
+        assert rejoined == events
+
+    def test_binlog_row_compatibility(self):
+        """EVENTS payloads are binlog rows: a recorded trace's binary
+        form streams to the server without re-encoding."""
+        from repro.workloads.registry import build_trace
+
+        from repro.perf.binlog import _EVENTS_OFF, EVENT_RECORD_BYTES
+
+        trace = build_trace("raytrace", scale=0.05, seed=0)
+        payload = P.encode_events([tuple(ev) for ev in trace.events])
+        rows = trace.binlog()[
+            _EVENTS_OFF : _EVENTS_OFF + len(trace) * EVENT_RECORD_BYTES
+        ]
+        assert payload == rows
+
+
+class TestHello:
+    def test_roundtrip(self):
+        options = {"tenant": "t1", "detector": "fasttrack-byte"}
+        assert P.decode_hello(P.encode_hello(options)) == options
+
+    def test_bad_magic(self):
+        with pytest.raises(P.ProtocolError) as err:
+            P.decode_hello(b"NOTMAGIC" + b"{}")
+        assert err.value.code == P.E_BAD_MAGIC
+
+    def test_bad_version(self):
+        payload = P.HELLO_MAGIC + struct.pack("<H", 99) + b'{"tenant":"x"}'
+        with pytest.raises(P.ProtocolError) as err:
+            P.decode_hello(payload)
+        assert err.value.code == P.E_BAD_VERSION
+
+    def test_truncated(self):
+        with pytest.raises(P.ProtocolError) as err:
+            P.decode_hello(P.HELLO_MAGIC)
+        assert err.value.code == P.E_BAD_HELLO
+
+    def test_missing_tenant(self):
+        payload = P.HELLO_MAGIC + struct.pack("<H", 1) + b"{}"
+        with pytest.raises(P.ProtocolError) as err:
+            P.decode_hello(payload)
+        assert err.value.code == P.E_BAD_HELLO
+
+    def test_undecodable_json(self):
+        payload = P.HELLO_MAGIC + struct.pack("<H", 1) + b"\xff\xfe"
+        with pytest.raises(P.ProtocolError) as err:
+            P.decode_hello(payload)
+        assert err.value.code == P.E_BAD_PAYLOAD
+
+
+class TestControlFrames:
+    def test_ack_roundtrip(self):
+        ftype, payload = _frames(P.ack_frame(12345, 7))[0]
+        assert ftype == P.T_ACK
+        assert P.decode_ack(payload) == (12345, 7)
+
+    def test_short_ack_rejected(self):
+        with pytest.raises(P.ProtocolError):
+            P.decode_ack(b"123")
+
+    def test_error_frame_is_typed(self):
+        _t, payload = _frames(P.error_frame(P.E_OVERLOADED, "queue full"))[0]
+        body = P.loads_json(payload)
+        assert body["code"] == P.E_OVERLOADED
+        assert body["fatal"] is True
+
+    def test_canonical_json_is_deterministic(self):
+        a = P.dumps_canonical({"b": 1, "a": [2, {"d": 3, "c": 4}]})
+        b = P.dumps_canonical({"a": [2, {"c": 4, "d": 3}], "b": 1})
+        assert a == b
+        assert b" " not in a

@@ -1,0 +1,113 @@
+"""Fault-injected server soak: misbehaving tenants, correct answers.
+
+Drives the load generator's full fault campaign (every kind in
+:data:`repro.runtime.faults.SERVER_KINDS`, plus an injected detector
+kill and a backpressure flood) against an in-process daemon and checks
+the two service-level guarantees:
+
+* **no cross-tenant contamination** — every tenant's result is
+  byte-identical to a local uninterrupted run of its own events, no
+  matter what the neighbours did on the wire;
+* **full recovery accounting** — every injected fault shows up in the
+  daemon's counters (kills, reconnects, protocol errors, idle sheds),
+  and no recovery attempt failed.
+"""
+
+import pytest
+
+from repro.runtime.faults import (
+    CORRUPT_FRAME,
+    DROP_CONNECTION,
+    SERVER_KINDS,
+    STALL_CLIENT,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.server.loadgen import _FAULT_CYCLE, run_loadgen
+
+
+def test_fault_cycle_covers_all_server_kinds():
+    """The campaign acts out every SERVER_KINDS fault."""
+    assert set(SERVER_KINDS) <= set(_FAULT_CYCLE)
+
+
+def test_fault_plan_carries_server_specs():
+    plan = FaultPlan(
+        [
+            FaultSpec(DROP_CONNECTION, 100),
+            FaultSpec("kill-thread", 50),
+            FaultSpec(CORRUPT_FRAME, 200),
+            FaultSpec(STALL_CLIENT, 300),
+        ]
+    )
+    kinds = [s.kind for s in plan.server_specs()]
+    assert kinds == [DROP_CONNECTION, CORRUPT_FRAME, STALL_CLIENT]
+    # The scheduler-side view is disjoint: wire faults never perturb
+    # trace generation.
+    assert all(
+        s.kind not in SERVER_KINDS for s in plan.scheduler_specs().specs
+    )
+
+
+def test_soak_no_cross_contamination(tmp_path):
+    """Six tenants — clean, killed, dropped, flooding, corrupting,
+    stalling — all finish byte-identical to their uninterrupted twins."""
+    body = run_loadgen(
+        None,
+        tenants=6,
+        workload="streamcluster",
+        scale=0.05,
+        seed=0,
+        detector="fasttrack",
+        batch_events=512,
+        faults=True,
+        out=str(tmp_path / "BENCH_server.json"),
+    )
+
+    # Guarantee 1: byte-identity for every tenant, faulted or not.
+    assert body["recovery_divergences"] == 0
+    for tenant in body["tenants"]:
+        assert tenant["divergent"] is False, tenant
+        assert tenant["races"] is not None
+
+    # Guarantee 2: every injected fault is accounted for.
+    srv = body["server"]
+    injected = body["faults_injected"]
+    assert injected["kill"] == 1
+    assert injected[DROP_CONNECTION] == 1
+    assert injected[CORRUPT_FRAME] == 1
+    assert injected[STALL_CLIENT] == 1
+    assert srv["kills"] >= 1  # the injected detector kill fired
+    assert srv["resumes"] + srv["cold_restarts"] >= 1
+    assert srv["protocol_errors"] >= 1  # the corrupt frame was typed
+    assert srv["idle_sheds"] >= 1  # the stalling client was shed
+    assert srv["reconnects"] >= 3  # drop + corrupt + stall all resumed
+    assert srv["recovery_failures"] == 0
+    assert srv["sessions_finished"] == 6
+
+    # The bench body records the latency distribution the CI job uploads.
+    assert body["latency_ms"]["samples"] > 0
+    assert body["latency_ms"]["p99"] >= body["latency_ms"]["p50"]
+    assert (tmp_path / "BENCH_server.json").exists()
+
+
+def test_soak_clean_run_has_no_recovery_noise(tmp_path):
+    """With faults disabled, the campaign is recovery-silent."""
+    body = run_loadgen(
+        None,
+        tenants=2,
+        workload="raytrace",
+        scale=0.2,
+        seed=3,
+        detector="fasttrack",
+        batch_events=128,
+        faults=False,
+        out=None,
+    )
+    srv = body["server"]
+    assert body["recovery_divergences"] == 0
+    assert srv["kills"] == 0
+    assert srv["protocol_errors"] == 0
+    assert srv["recovery_failures"] == 0
+    assert srv["sessions_finished"] == 2
+    assert body["faults_injected"] == {}
