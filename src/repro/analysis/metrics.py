@@ -85,6 +85,7 @@ class TimedDetector:
         "on_write",
         "on_read_batch",
         "on_write_batch",
+        "check_access",
         "on_acquire",
         "on_release",
         "on_fork",
@@ -127,6 +128,16 @@ class TimedDetector:
         self._timed(
             "on_write_batch", self.inner.on_write_batch, tid, addr, size, width, site
         )
+
+    def check_access(self, tid, addr, size, site=0, is_write=False):
+        self._timed(
+            "check_access", self.inner.check_access, tid, addr, size, site,
+            is_write,
+        )
+
+    @property
+    def supports_check_access(self):
+        return getattr(self.inner, "supports_check_access", False)
 
     def on_acquire(self, tid, sync_id, is_lock=1):
         self._timed("on_acquire", self.inner.on_acquire, tid, sync_id, is_lock)

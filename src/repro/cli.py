@@ -40,7 +40,11 @@ from repro.analysis.metrics import measure
 from repro.analysis.report import format_races, summarize_races
 from repro.analysis.tables import format_table
 from repro.analysis.quarantine import DEFAULT_QUARANTINE_DIR
-from repro.detectors.registry import available_detectors, create_detector
+from repro.detectors.registry import (
+    SAMPLER_NAMES,
+    available_detectors,
+    create_detector,
+)
 from repro.runtime.faults import FAULT_KINDS
 from repro.runtime.trace import Trace
 from repro.runtime.vm import bare_replay, replay
@@ -59,6 +63,25 @@ def _resolve(name: str):
     if name in embedded_scenarios():
         return get_scenario(name)
     return get_workload(name)
+
+
+def _is_detector(name: str) -> bool:
+    "Registry names plus sampler compositions like 'pacer:djit-byte'."
+    *outers, inner = name.split(":")
+    return inner in available_detectors() and all(
+        o in SAMPLER_NAMES for o in outers
+    )
+
+
+def _detector_arg(name: str) -> str:
+    "argparse type= validator accepting colon-composed sampler names."
+    if not _is_detector(name):
+        raise argparse.ArgumentTypeError(
+            f"unknown detector {name!r} (choose from "
+            f"{', '.join(available_detectors())}; samplers "
+            f"{'/'.join(SAMPLER_NAMES)} compose as 'sampler:inner')"
+        )
+    return name
 
 TABLES = {
     "1": (tables_mod.table1, "Overall results (slowdown / memory / races)"),
@@ -83,7 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a detector on a workload")
     run.add_argument("--workload", "-w", required=True, choices=_all_runnable())
     run.add_argument(
-        "--detector", "-d", default="dynamic", choices=available_detectors()
+        "--detector", "-d", default="dynamic", type=_detector_arg
     )
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument("--seed", type=int, default=0)
@@ -174,7 +197,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--workload", "-w", required=True, choices=_all_runnable())
     fuzz.add_argument(
         "--detector", "-d", default="fasttrack-byte",
-        choices=available_detectors(),
+        type=_detector_arg,
     )
     fuzz.add_argument("--trials", type=int, default=30)
     fuzz.add_argument("--scale", type=float, default=0.3)
@@ -244,7 +267,7 @@ def _build_parser() -> argparse.ArgumentParser:
     quar.add_argument(
         "--detector",
         "-d",
-        choices=available_detectors(),
+        type=_detector_arg,
         help="override the detector recorded in the entry metadata",
     )
 
@@ -270,7 +293,7 @@ def _build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("replay", help="replay a recorded trace")
     rep.add_argument("trace")
     rep.add_argument(
-        "--detector", "-d", default="dynamic", choices=available_detectors()
+        "--detector", "-d", default="dynamic", type=_detector_arg
     )
     rep.add_argument("--max-races", type=int, default=20)
 
@@ -283,7 +306,7 @@ def _build_parser() -> argparse.ArgumentParser:
     src.add_argument("--trace", help="a recorded .npz trace instead")
     shrink.add_argument(
         "--detector", "-d", default="fasttrack-byte",
-        choices=available_detectors(),
+        type=_detector_arg,
         help="detector whose races must keep manifesting",
     )
     shrink.add_argument("--scale", type=float, default=0.3)
@@ -367,9 +390,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--sampling",
         action="store_true",
-        help="also measure LiteRace/Pacer recall and speedup vs the "
-        "full FastTrack run over the golden corpus (embedded under "
+        help="also run the sampling recall grid — every sampling policy "
+        "x rate x inner detector over the golden corpus, with rate-1.0 "
+        "cells pinned byte-identical to the bare inner (embedded under "
         "'sampling' in the output JSON)",
+    )
+    bench.add_argument(
+        "--sampling-floor",
+        type=float,
+        help="recall gate for --sampling: fail when any sub-1.0 "
+        "(sampler, rate) summary row has mean recall below this floor",
     )
     bench.add_argument(
         "--check-history",
@@ -396,7 +426,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--detector",
         default="fasttrack-byte",
-        choices=available_detectors(),
+        type=_detector_arg,
         help="default detector for sessions that don't name one",
     )
     serve.add_argument(
@@ -696,7 +726,7 @@ def _cmd_compare(args) -> int:
 
     names = [n.strip() for n in args.detectors.split(",") if n.strip()]
     for name in names:
-        if name not in available_detectors():
+        if not _is_detector(name):
             print(f"unknown detector {name!r}")
             return 2
     trace = _resolve(args.workload).trace(scale=args.scale, seed=args.seed)
@@ -839,11 +869,14 @@ def _cmd_bench(args) -> int:
     if args.check_history and not args.history:
         print("--check-history requires --history")
         return 2
+    if args.sampling_floor is not None and not args.sampling:
+        print("--sampling-floor requires --sampling")
+        return 2
 
     if args.detectors:
         detectors = [d.strip() for d in args.detectors.split(",") if d.strip()]
         for name in detectors:
-            if name not in available_detectors():
+            if not _is_detector(name):
                 print(f"unknown detector {name!r}")
                 return 2
     else:
@@ -888,6 +921,26 @@ def _cmd_bench(args) -> int:
     if result["conformance"]["divergences"]:
         print("FAIL: dispatch-mode or sharded replay diverged")
         return 1
+    sampling = result.get("sampling")
+    if sampling:
+        if not sampling["identity"]["ok"]:
+            print("FAIL: rate-1.0 sampling cells diverged from bare inner")
+            return 1
+        if args.sampling_floor is not None:
+            low = [
+                row
+                for row in sampling["summary"]
+                if row["rate"] < 1.0
+                and row["mean_recall"] < args.sampling_floor
+            ]
+            if low:
+                for row in low:
+                    print(
+                        f"FAIL: {row['sampler']}@{row['rate']:.2f} mean "
+                        f"recall {row['mean_recall']:.3f} below floor "
+                        f"{args.sampling_floor:.2f}"
+                    )
+                return 1
     if regressions:
         return 1
     return 0

@@ -65,6 +65,11 @@ class DynamicGranularityDetector(VectorClockRuntime):
 
     name = "fasttrack-dynamic"
 
+    #: Access paths materialize deferred epochs, so the sampling tier
+    #: may enable lazy sampled-epoch timestamping (ALGORITHM.md §14).
+    supports_lazy_epochs = True
+    supports_check_access = True
+
     def __init__(
         self,
         config: DynamicConfig = DynamicConfig(),
@@ -295,6 +300,8 @@ class DynamicGranularityDetector(VectorClockRuntime):
     # access paths
     # ------------------------------------------------------------------
     def on_write(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         self.total_accesses += 1
         if self._bitmap(self._write_seen, tid).test_and_set(addr, size):
             self.same_epoch_hits += 1
@@ -402,6 +409,8 @@ class DynamicGranularityDetector(VectorClockRuntime):
             self._set_race(wm, raced)
 
     def on_read(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         self.total_accesses += 1
         if self._bitmap(self._read_seen, tid).test_and_set(addr, size):
             self.same_epoch_hits += 1
@@ -521,6 +530,8 @@ class DynamicGranularityDetector(VectorClockRuntime):
     def on_read_batch(
         self, tid: int, addr: int, size: int, width: int, site: int = 0
     ) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         n, rem = divmod(size, width) if width > 0 else (0, 1)
         if rem or n <= 1:
             self.on_read(tid, addr, size, site)
@@ -588,6 +599,8 @@ class DynamicGranularityDetector(VectorClockRuntime):
     def on_write_batch(
         self, tid: int, addr: int, size: int, width: int, site: int = 0
     ) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         n, rem = divmod(size, width) if width > 0 else (0, 1)
         if rem or n <= 1:
             self.on_write(tid, addr, size, site)
@@ -643,6 +656,45 @@ class DynamicGranularityDetector(VectorClockRuntime):
         while a < end:
             self.on_write(tid, a, width, site)
             a += width
+
+    # ------------------------------------------------------------------
+    def check_access(
+        self, tid: int, addr: int, size: int, site: int = 0,
+        is_write: bool = False,
+    ) -> None:
+        """Race-check ``[addr, addr+size)`` against the recorded group
+        clocks without recording (the sampling tier's check-only path;
+        see ALGORITHM.md §14).
+
+        Reports only — no stamping, no sharing decisions, no group
+        dissolution; ``self.report``'s first-race-per-location dedup is
+        the sole state touched.  Pending lazy epochs are *not*
+        materialized: check-only compares other threads' exported
+        clocks, which deferral never changes.
+        """
+        vc = self._vc(tid)
+        end = addr + size
+        for lo, hi, wg in self._wg.overlaps(addr, end):
+            if wg is None:
+                continue
+            if wg.wc > vc.get(wg.wt) and not (
+                wg.state == RACE and wg.lo in self._racy
+            ):
+                kind = WRITE_WRITE if is_write else WRITE_READ
+                self._report_group(self._wg, wg, kind, tid, site, wg.wt)
+        if is_write:
+            for lo, hi, rg in self._rg.overlaps(addr, end):
+                if rg is None:
+                    continue
+                r = rg.r
+                if not r.leq(vc):
+                    if rg.state == RACE and rg.lo in self._racy:
+                        continue
+                    prev = r.racing_tids(vc)
+                    if prev:
+                        self._report_group(
+                            self._rg, rg, READ_WRITE, tid, site, prev[0]
+                        )
 
     # ------------------------------------------------------------------
     def on_free(self, tid: int, addr: int, size: int) -> None:

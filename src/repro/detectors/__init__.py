@@ -10,8 +10,9 @@
   shadow-history detection (Intel Inspector XE stand-in).
 * :mod:`repro.detectors.multirace` — MultiRace-style LockSet-filtered
   DJIT+ (paper §VI related work).
-* :mod:`repro.detectors.sampling` — LiteRace and PACER sampling
-  wrappers (paper §VI related work).
+* :mod:`repro.detectors.sampling` — LiteRace, PACER and O(1)-samples
+  sampling wrappers around any registered detector (paper §VI related
+  work; ALGORITHM.md §14).
 * :mod:`repro.detectors.filters` — Aikido-style page-sharing filtering
   and demand-driven detection (paper §VI related work).
 * :mod:`repro.detectors.tsan` — ThreadSanitizer-v2-style shadow cells
@@ -38,7 +39,11 @@ from repro.detectors.filters import AikidoFilter, DemandDrivenFilter
 from repro.detectors.inspector import HybridDetector
 from repro.detectors.multirace import MultiRaceDetector
 from repro.detectors.registry import available_detectors, create_detector
-from repro.detectors.sampling import LiteRaceDetector, PacerDetector
+from repro.detectors.sampling import (
+    LiteRaceDetector,
+    O1SamplesDetector,
+    PacerDetector,
+)
 from repro.detectors.tsan import TsanDetector
 
 __all__ = [
@@ -53,6 +58,7 @@ __all__ = [
     "MultiRaceDetector",
     "LiteRaceDetector",
     "PacerDetector",
+    "O1SamplesDetector",
     "AikidoFilter",
     "DemandDrivenFilter",
     "TsanDetector",

@@ -106,6 +106,29 @@ class Detector:
         """Write-side twin of :meth:`on_read_batch`."""
         self.on_write(tid, addr, size, site)
 
+    # -- check-only protocol (sampling tier, ALGORITHM.md §14) ----------
+    #: True when the class implements :meth:`check_access` (read by the
+    #: sampling tier to report whether skipped accesses are still
+    #: race-checked against recorded history).
+    supports_check_access = False
+
+    def check_access(
+        self, tid: int, addr: int, size: int, site: int = 0,
+        is_write: bool = False,
+    ) -> None:
+        """Race-check ``[addr, addr+size)`` against already-recorded
+        shadow state *without recording anything*.
+
+        PACER-style one-sided detection: a sampling wrapper that skips
+        an access can still catch a race whose other endpoint was
+        recorded during a sampled period.  Implementations must not
+        mutate shadow history, clocks or fast-path bitmaps — reporting
+        (with its first-race-per-location dedup) is the only allowed
+        side effect.  The default is a no-op so any detector can be
+        wrapped; detectors with inspectable shadow state (the FastTrack
+        family, DJIT+, dynamic granularity) override it.
+        """
+
     # -- synchronization callbacks --------------------------------------
     def on_acquire(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
         """``tid`` acquired sync object ``sync_id``.
@@ -235,6 +258,25 @@ class VectorClockRuntime(Detector):
     ordering.
     """
 
+    #: Lazy sampled-epoch timestamping (sampling tier, ALGORITHM.md §14):
+    #: when enabled, the epoch increment at a release/fork is deferred
+    #: until the thread's next *recorded* access, so consecutive epochs
+    #: that record nothing collapse into a single clock advance — clock
+    #: maintenance is bounded by sampled events, not trace length.
+    #: Class-level False keeps the normal hot path at one falsy
+    #: attribute load (same pattern as ``_vec_journal``).
+    lazy_epochs = False
+
+    #: Subclasses that call :meth:`_materialize_epoch` at the top of
+    #: every access path set this; the sampling tier only enables lazy
+    #: mode on inners that opted in (an inner that stamps shadow state
+    #: without materializing pending increments would corrupt ordering).
+    supports_lazy_epochs = False
+
+    # pending-epoch bits per thread
+    _PEND_RESET = 1  # new_epoch (bitmap reset) owed
+    _PEND_INC = 2    # clock increment owed
+
     def __init__(self, suppress: Optional[Callable[[int], bool]] = None):
         super().__init__(suppress)
         self.thread_vc: Dict[int, VectorClock] = {0: VectorClock.for_thread(0)}
@@ -243,6 +285,10 @@ class VectorClockRuntime(Detector):
         self.held: Dict[int, set] = {0: set()}
         self.max_tid = 0
         self.epoch_count = 1
+        #: tid -> pending-epoch bits (lazy mode only)
+        self._lazy_pending: Dict[int, int] = {}
+        #: epoch increments elided by collapsing empty epochs
+        self.deferred_epochs = 0
 
     # ---------------------------------------------------------------
     def _vc(self, tid: int) -> VectorClock:
@@ -260,6 +306,47 @@ class VectorClockRuntime(Detector):
     def new_epoch(self, tid: int) -> None:
         """Hook: called whenever ``tid`` enters a new epoch."""
         self.epoch_count += 1
+
+    # ---------------------------------------------------------------
+    # lazy sampled-epoch timestamping
+    # ---------------------------------------------------------------
+    def enable_lazy_epochs(self) -> None:
+        """Switch epoch increments to deferred mode (sampling tier).
+
+        Sound because an epoch value only matters once it is stamped
+        into shadow state: exports into lock/child clocks at a release
+        or fork keep their happens-before meaning (every earlier stamp
+        stays ≤ the exported value, every later stamp materializes
+        strictly above it), and the per-thread stamp sequence stays
+        strictly increasing, so every epoch comparison a detector makes
+        has the same outcome as under eager timestamping.
+        """
+        if not self.supports_lazy_epochs:
+            raise ValueError(
+                f"{type(self).__name__} does not support lazy epochs"
+            )
+        self.lazy_epochs = True
+
+    def _defer_epoch(self, tid: int, increment: bool) -> None:
+        """Record that ``tid`` owes a new epoch (and optionally a clock
+        increment) before its next recorded access."""
+        pend = self._lazy_pending.get(tid, 0)
+        if increment:
+            if pend & self._PEND_INC:
+                # A second empty epoch collapses into the pending one.
+                self.deferred_epochs += 1
+            pend |= self._PEND_INC
+        self._lazy_pending[tid] = pend | self._PEND_RESET
+
+    def _materialize_epoch(self, tid: int) -> None:
+        """Apply ``tid``'s deferred epoch work; called by access paths
+        (guarded by ``lazy_epochs``) before consulting any bitmap or
+        stamping any shadow state."""
+        pend = self._lazy_pending.pop(tid, 0)
+        if pend:
+            if pend & self._PEND_INC:
+                self._vc(tid).increment(tid)
+            self.new_epoch(tid)
 
     # ---------------------------------------------------------------
     def on_acquire(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
@@ -280,6 +367,11 @@ class VectorClockRuntime(Detector):
             self.lock_vc[sync_id] = vc.cow_copy()
         else:
             lvc.join(vc)
+        if self.lazy_epochs:
+            if is_lock:
+                self.held.setdefault(tid, set()).discard(sync_id)
+            self._defer_epoch(tid, increment=True)
+            return
         vc.increment(tid)
         if is_lock:
             self.held.setdefault(tid, set()).discard(sync_id)
@@ -293,11 +385,19 @@ class VectorClockRuntime(Detector):
         self.held[child_tid] = set()
         if child_tid > self.max_tid:
             self.max_tid = child_tid
+        if self.lazy_epochs:
+            self._defer_epoch(tid, increment=True)
+            return
         parent.increment(tid)
         self.new_epoch(tid)
 
     def on_join(self, tid: int, target_tid: int) -> None:
         self._vc(tid).join(self._vc(target_tid))
+        if self.lazy_epochs:
+            # The joiner's clock need not advance, but its same-epoch
+            # bitmaps must be invalidated before the next access.
+            self._defer_epoch(tid, increment=False)
+            return
         self.new_epoch(tid)
         # note: the joiner's own clock need not advance; joining only
         # imports the target's history.
@@ -319,6 +419,11 @@ class VectorClockRuntime(Detector):
             ],
             "max_tid": self.max_tid,
             "epoch_count": self.epoch_count,
+            "lazy": [
+                sorted(self._lazy_pending.items()),
+                self.deferred_epochs,
+                bool(self.lazy_epochs),
+            ],
         }
 
     def _restore_runtime(self, state: dict) -> None:
@@ -331,6 +436,12 @@ class VectorClockRuntime(Detector):
         self.held = {tid: set(locks) for tid, locks in state["held"]}
         self.max_tid = state["max_tid"]
         self.epoch_count = state["epoch_count"]
+        # Pre-sampling-tier checkpoints lack the lazy-epoch fields.
+        pending, deferred, lazy = state.get("lazy", [[], 0, False])
+        self._lazy_pending = {tid: pend for tid, pend in pending}
+        self.deferred_epochs = deferred
+        if lazy:
+            self.lazy_epochs = True
 
     # ---------------------------------------------------------------
     @property

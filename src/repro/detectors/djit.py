@@ -42,6 +42,11 @@ class _Loc:
 class DjitPlusDetector(VectorClockRuntime):
     """DJIT+ with a fixed detection granularity (1 = byte, 4 = word)."""
 
+    #: Access paths materialize deferred epochs, so the sampling tier
+    #: may enable lazy sampled-epoch timestamping (ALGORITHM.md §14).
+    supports_lazy_epochs = True
+    supports_check_access = True
+
     def __init__(
         self,
         granularity: int = 1,
@@ -82,6 +87,8 @@ class DjitPlusDetector(VectorClockRuntime):
 
     # ------------------------------------------------------------------
     def on_read(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         g = self.granularity
         base = addr - addr % g
         span = addr + size - base
@@ -107,6 +114,8 @@ class DjitPlusDetector(VectorClockRuntime):
             loc.r_site = site
 
     def on_write(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         g = self.granularity
         base = addr - addr % g
         span = addr + size - base
@@ -141,6 +150,40 @@ class DjitPlusDetector(VectorClockRuntime):
             w.set(tid, my_clock)
             loc.w_site = site
             loc.w_tid = tid
+
+    # ------------------------------------------------------------------
+    def check_access(
+        self, tid: int, addr: int, size: int, site: int = 0,
+        is_write: bool = False,
+    ) -> None:
+        """Race-check against recorded vector clocks without recording
+        (the sampling tier's check-only path; see ALGORITHM.md §14)."""
+        g = self.granularity
+        vc = self._vc(tid)
+        for unit in self._units(addr, size):
+            loc = self._locs.get(unit)
+            if loc is None:
+                continue
+            w = loc.w
+            if w is not None and not w.leq(vc):
+                kind = WRITE_WRITE if is_write else WRITE_READ
+                self.report(
+                    RaceReport(unit, kind, tid, site, loc.w_tid, loc.w_site,
+                               unit=g)
+                )
+            if is_write:
+                r = loc.r
+                if r is not None and not r.leq(vc):
+                    prev = next(
+                        (t for t, c in enumerate(r.as_list())
+                         if c > vc.get(t)),
+                        -1,
+                    )
+                    if prev >= 0:
+                        self.report(
+                            RaceReport(unit, READ_WRITE, tid, site, prev,
+                                       loc.r_site, unit=g)
+                        )
 
     # ------------------------------------------------------------------
     def on_free(self, tid: int, addr: int, size: int) -> None:

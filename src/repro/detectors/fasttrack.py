@@ -59,6 +59,11 @@ class FastTrackDetector(VectorClockRuntime):
     _vec_journal = None
     _vec_pos = None
 
+    #: Access paths materialize deferred epochs, so the sampling tier
+    #: may enable lazy sampled-epoch timestamping (ALGORITHM.md §14).
+    supports_lazy_epochs = True
+    supports_check_access = True
+
     def __init__(
         self,
         granularity: int = 1,
@@ -132,6 +137,8 @@ class FastTrackDetector(VectorClockRuntime):
     # access paths
     # ------------------------------------------------------------------
     def on_read(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         self.total_accesses += 1
         g = self.granularity
         base = addr - addr % g
@@ -174,6 +181,8 @@ class FastTrackDetector(VectorClockRuntime):
             rec.r_site = site
 
     def on_write(self, tid: int, addr: int, size: int, site: int = 0) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         self.total_accesses += 1
         g = self.granularity
         base = addr - addr % g
@@ -245,6 +254,8 @@ class FastTrackDetector(VectorClockRuntime):
     def on_read_batch(
         self, tid: int, addr: int, size: int, width: int, site: int = 0
     ) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         g = self.granularity
         n = size // width if width > 0 else 0
         if n > 1 and size % width == 0 and width % g == 0 and addr % g == 0:
@@ -265,6 +276,8 @@ class FastTrackDetector(VectorClockRuntime):
     def on_write_batch(
         self, tid: int, addr: int, size: int, width: int, site: int = 0
     ) -> None:
+        if self.lazy_epochs:
+            self._materialize_epoch(tid)
         g = self.granularity
         n = size // width if width > 0 else 0
         if n > 1 and size % width == 0 and width % g == 0 and addr % g == 0:
@@ -281,6 +294,44 @@ class FastTrackDetector(VectorClockRuntime):
                 self.on_write(tid, a, width, site)
             return
         self.on_write(tid, addr, size, site)
+
+    # ------------------------------------------------------------------
+    def check_access(
+        self, tid: int, addr: int, size: int, site: int = 0,
+        is_write: bool = False,
+    ) -> None:
+        """Race-check against recorded shadow without recording.
+
+        The sampling tier's check-only path (PACER): an access skipped
+        by the sampling policy can still catch a race whose other
+        endpoint was recorded.  No shadow entry, bitmap bit or clock is
+        created or updated — absent units stay absent.
+        """
+        vc = self._vc(tid)
+        g = self.granularity
+        base = addr - addr % g
+        last = addr + size - 1
+        table_get = self._table.get
+        for unit in range(base, last - last % g + g, g):
+            rec = table_get(unit)
+            if rec is None:
+                continue
+            if rec.wc > vc.get(rec.wt):
+                kind = WRITE_WRITE if is_write else WRITE_READ
+                self.report(
+                    RaceReport(unit, kind, tid, site, rec.wt, rec.w_site,
+                               unit=g)
+                )
+            if is_write and not rec.r.leq(vc):
+                prev = rec.r.racing_tids(vc)
+                if prev:
+                    # Resolved from the read clock; without a concrete
+                    # racing reader the report is suppressed rather
+                    # than surfacing a bogus tid -1.
+                    self.report(
+                        RaceReport(unit, READ_WRITE, tid, site, prev[0],
+                                   rec.r_site, unit=g)
+                    )
 
     # ------------------------------------------------------------------
     def seed_write(self, tid: int, clock: int, addr: int, size: int) -> None:

@@ -219,6 +219,16 @@ class GuardedDetector:
     ) -> None:
         self._dispatch("on_write_batch", tid, addr, size, width, site)
 
+    def check_access(
+        self, tid: int, addr: int, size: int, site: int = 0,
+        is_write: bool = False,
+    ) -> None:
+        self._dispatch("check_access", tid, addr, size, site, is_write)
+
+    @property
+    def supports_check_access(self) -> bool:
+        return getattr(self.inner, "supports_check_access", False)
+
     def on_acquire(self, tid: int, sync_id: int, is_lock: int = 1) -> None:
         self._dispatch("on_acquire", tid, sync_id, is_lock)
 

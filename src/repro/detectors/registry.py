@@ -12,7 +12,11 @@ from repro.detectors.deadlock import LockOrderDetector
 from repro.detectors.filters import AikidoFilter, DemandDrivenFilter
 from repro.detectors.inspector import HybridDetector
 from repro.detectors.multirace import MultiRaceDetector
-from repro.detectors.sampling import LiteRaceDetector, PacerDetector
+from repro.detectors.sampling import (
+    LiteRaceDetector,
+    O1SamplesDetector,
+    PacerDetector,
+)
 from repro.detectors.tsan import TsanDetector
 
 
@@ -41,6 +45,27 @@ def _dynamic(**kwargs):
     return DynamicGranularityDetector(config=config, **kwargs)
 
 
+#: registry names that are sampling wrappers (accept ``inner=`` and the
+#: generic ``rate=`` knob; composable via ``sampler:inner`` names)
+SAMPLER_NAMES = ("literace", "pacer", "o1")
+
+
+def _rate_kw(kwargs: Dict, param: str) -> Dict:
+    """Translate the policy-neutral ``rate=`` knob (used by the recall
+    grid and ``sampler:inner`` names) into each policy's own parameter:
+    LiteRace's floor rate, Pacer's epoch rate, and the O(1)-samples
+    per-phase budget (rate 1.0 → unbounded; else ~rate × 20 samples)."""
+    if "rate" not in kwargs:
+        return kwargs
+    kwargs = dict(kwargs)
+    rate = kwargs.pop("rate")
+    if param == "budget":
+        kwargs[param] = None if rate >= 1.0 else max(1, round(rate * 20))
+    else:
+        kwargs[param] = rate
+    return kwargs
+
+
 _FACTORIES: Dict[str, Callable] = {
     "djit-byte": lambda **kw: DjitPlusDetector(granularity=1, **kw),
     "djit-word": lambda **kw: DjitPlusDetector(granularity=4, **kw),
@@ -52,8 +77,9 @@ _FACTORIES: Dict[str, Callable] = {
     "drd": lambda **kw: SegmentDetector(**kw),
     "inspector": lambda **kw: HybridDetector(**kw),
     "multirace": lambda **kw: MultiRaceDetector(**kw),
-    "literace": lambda **kw: LiteRaceDetector(**kw),
-    "pacer": lambda **kw: PacerDetector(**kw),
+    "literace": lambda **kw: LiteRaceDetector(**_rate_kw(kw, "floor_rate")),
+    "pacer": lambda **kw: PacerDetector(**_rate_kw(kw, "rate")),
+    "o1": lambda **kw: O1SamplesDetector(**_rate_kw(kw, "budget")),
     "aikido": lambda **kw: AikidoFilter(**kw),
     "demand-driven": lambda **kw: DemandDrivenFilter(**kw),
     "tsan": lambda **kw: TsanDetector(**kw),
@@ -72,7 +98,34 @@ def create_detector(name: str, **kwargs):
     Extra keyword arguments are forwarded to the constructor (e.g.
     ``suppress=``, or the :class:`~repro.core.config.DynamicConfig`
     flags for the dynamic detector).
+
+    ``sampler:inner`` composes a sampling wrapper around any registry
+    detector — ``pacer:djit-byte``, ``o1:dynamic``,
+    ``literace:fasttrack-word`` — recursively, so
+    ``literace:pacer:fasttrack-byte`` stacks two policies.  Keyword
+    arguments before the colon split: ``rate=`` and sampler knobs go to
+    the wrapper, everything else (plus ``suppress=``) to the inner.
     """
+    if ":" in name:
+        outer, _, inner_name = name.partition(":")
+        if outer not in SAMPLER_NAMES:
+            raise ValueError(
+                f"unknown sampler {outer!r} in {name!r}; "
+                f"samplers: {list(SAMPLER_NAMES)}"
+            )
+        sampler_kw = {
+            k: kwargs.pop(k)
+            for k in ("rate", "floor_rate", "burst", "budget", "bucket",
+                      "lazy_timestamps")
+            if k in kwargs
+        }
+        suppress = kwargs.get("suppress")
+        inner = create_detector(inner_name, **kwargs)
+        det = create_detector(
+            outer, inner=inner, suppress=suppress, **sampler_kw
+        )
+        det.name = name
+        return det
     try:
         factory = _FACTORIES[name]
     except KeyError:

@@ -232,9 +232,11 @@ def run_bench(
     single-detector batched replay; a per-event transport-cost row
     (shared-memory ring vs pickle pipe) is recorded alongside.
 
-    With ``sampling=True`` the LiteRace/Pacer recall harness
-    (:mod:`repro.perf.sampling`) runs over the golden corpus and its
-    rows are embedded in the result.
+    With ``sampling=True`` the sampling × detector recall grid
+    (:mod:`repro.perf.sampling`) runs over the golden corpus — every
+    sampling policy × rate × inner detector, with rate-1.0 cells pinned
+    byte-identical to the bare inner — and its rows are embedded in the
+    result (``quick`` shrinks the rate ladder).
     """
     if workloads is None:
         workloads = QUICK_WORKLOADS if quick else tuple(workload_names())
@@ -355,7 +357,7 @@ def run_bench(
     if sampling:
         from repro.perf.sampling import sampling_report
 
-        result["sampling"] = sampling_report(repeats=repeats)
+        result["sampling"] = sampling_report(repeats=repeats, quick=quick)
     return result
 
 
@@ -636,12 +638,29 @@ def format_bench(result: Dict[str, object]) -> str:
     if sampling:
         for srow in sampling["summary"]:
             lines.append(
-                f"sampling {srow['sampler']:10s}: recall "
+                f"sampling {srow['sampler']:8s}@{srow['rate']:.2f}: recall "
                 f"{srow['mean_recall']:.2f} mean "
                 f"(min {srow['min_recall']:.2f}), "
-                f"speedup {srow['mean_speedup']:.2f}x vs full FastTrack, "
+                f"speedup {srow['mean_speedup']:.2f}x vs full inner, "
                 f"sampled {100.0 * srow['mean_effective_rate']:.1f}% "
-                f"of accesses"
+                f"of accesses over {srow['cells']} cells "
+                f"({srow['inners']} inners)"
+            )
+        ident = sampling["identity"]
+        if ident["ok"]:
+            lines.append(
+                f"sampling identity: all {ident['cells']} rate-1.0 cells "
+                "byte-identical to the bare inner"
+            )
+        else:
+            lines.append(
+                f"sampling identity: {len(ident['failures'])} of "
+                f"{ident['cells']} rate-1.0 cells DIVERGED from the bare "
+                "inner: "
+                + ", ".join(
+                    f"{f['sampler']}:{f['inner']}@{f['trace']}"
+                    for f in ident["failures"][:5]
+                )
             )
     conf = result["conformance"]
     lines.append(

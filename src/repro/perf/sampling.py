@@ -1,29 +1,34 @@
-"""Sampling recall harness: measured LiteRace/Pacer recall vs FastTrack.
+"""Sampling recall grid: {policy} × {rate} × {inner detector} scoring.
 
 The samplers in :mod:`repro.detectors.sampling` trade detection for
 speed — "reasonable detection rate with minimal overhead, but may miss
-critical data races".  This module turns that sentence into numbers over
-the frozen golden corpus: for each golden trace, the full byte-granular
-FastTrack replay defines the ground-truth race set, and each sampler is
-scored by
+critical data races".  This module turns that sentence into numbers
+over the frozen golden corpus, for *any* registry inner detector: per
+golden trace and inner, the full (unsampled, unbatched) replay of the
+inner defines the ground-truth race set, and every ``sampler:inner``
+cell at every rate is scored by
 
-* **recall** — fraction of ground-truth race addresses the sampler also
-  reports (a sampler never invents races on these traces: it forwards a
-  subset of accesses to the same inner detector, so precision stays 1.0
-  and ``extras`` below is an honesty counter, not a tuned metric);
-* **speedup** — full-detector replay wall time over sampler wall time,
+* **recall** — fraction of ground-truth race addresses the sampled
+  cell also reports (a sampler never invents races on these traces: it
+  forwards a subset of accesses to the same inner detector, so
+  precision stays 1.0 and ``extras`` below is an honesty counter, not
+  a tuned metric);
+* **speedup** — full-inner replay wall time over sampler wall time,
   best-of-``repeats`` on both sides;
-* **effective rate** — fraction of memory accesses actually forwarded.
+* **effective rate** — fraction of memory accesses actually forwarded;
+* **identity** — every rate-1.0 cell must be byte-identical to the
+  bare inner (same race reports, same inner statistics); a failed
+  identity cell fails the bench like a conformance divergence does.
 
-The rows feed ``repro-race bench --sampling`` and land in
-``BENCH_slowdown.json``; the conformance suite additionally pins that
-both samplers at rate 1.0 reproduce the full run byte-for-byte.
+The rows feed ``repro-race bench --sampling`` (with ``--sampling-floor``
+as the CI recall gate) and land in ``BENCH_slowdown.json``; the grid
+shape itself is pinned by ``tests/perf/test_sampling_recall.py``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.detectors.registry import create_detector
 from repro.runtime.trace import Trace
@@ -32,17 +37,49 @@ from repro.testing.golden import default_corpus_dir, load_manifest
 from repro.workloads.base import default_suppression
 
 #: Schema tag for the embedded sampling section.
-SAMPLING_SCHEMA = "repro-race-sampling-recall/v1"
+SAMPLING_SCHEMA = "repro-race-sampling-recall/v2"
 
-#: Registry names of the samplers under measurement.
-SAMPLERS = ("literace", "pacer")
+#: Registry names of the sampling policies under measurement.
+SAMPLERS = ("literace", "pacer", "o1")
 
-#: The ground-truth detector (byte granularity: the finest race set).
-FULL_DETECTOR = "fasttrack-byte"
+#: Inner detectors the grid scores every policy against: the paper's
+#: two fixed FastTrack granularities, the DJIT+ precision oracle, and
+#: the dynamic-granularity detector.
+DEFAULT_INNERS = ("fasttrack-byte", "fasttrack-word", "djit-byte", "dynamic")
+
+#: Sampling rates per cell; 1.0 is mandatory (the identity pin).
+DEFAULT_RATES = (0.05, 0.25, 1.0)
+QUICK_RATES = (0.1, 1.0)
+
+#: Wrapper-only statistics keys: stripped before comparing a sampled
+#: run's statistics against the bare inner's.
+SAMPLER_STAT_KEYS = frozenset(
+    {
+        "sampled_accesses",
+        "skipped_accesses",
+        "check_only_accesses",
+        "check_supported",
+        "effective_rate",
+        "lazy_timestamps",
+        "deferred_epochs",
+        "phase_changes",
+    }
+)
 
 
 def _race_addrs(result) -> frozenset:
     return frozenset(r.addr for r in result.races)
+
+
+def _race_keys(result) -> List[tuple]:
+    return [
+        (r.addr, r.kind, r.tid, r.site, r.prev_tid, r.prev_site, r.unit)
+        for r in result.races
+    ]
+
+
+def _inner_stats(stats: Dict[str, object]) -> Dict[str, object]:
+    return {k: v for k, v in stats.items() if k not in SAMPLER_STAT_KEYS}
 
 
 def _best_replay(trace: Trace, name: str, repeats: int, **kwargs):
@@ -55,66 +92,103 @@ def _best_replay(trace: Trace, name: str, repeats: int, **kwargs):
     return best
 
 
-def recall_rows(
+def grid_rows(
     corpus_dir: Optional[str] = None,
     samplers: Sequence[str] = SAMPLERS,
+    inners: Sequence[str] = DEFAULT_INNERS,
+    rates: Sequence[float] = DEFAULT_RATES,
     repeats: int = 3,
 ) -> List[Dict[str, object]]:
-    """One row per (golden trace, sampler) with recall, speedup and the
-    sampler's measured effective rate."""
+    """One row per (golden trace, inner, sampler, rate) cell."""
     corpus = corpus_dir or default_corpus_dir()
     rows: List[Dict[str, object]] = []
-    for name in sorted(load_manifest(corpus)):
-        trace = Trace.load(os.path.join(corpus, f"{name}.npz"))
-        full = _best_replay(trace, FULL_DETECTOR, repeats)
-        truth = _race_addrs(full)
-        for sampler in samplers:
-            res = _best_replay(trace, sampler, repeats)
-            found = _race_addrs(res)
-            stats = res.stats
-            rows.append(
-                {
-                    "trace": name,
-                    "sampler": sampler,
-                    "events": len(trace),
-                    "full_races": len(truth),
-                    "found_races": len(found & truth),
-                    "extras": len(found - truth),
-                    "recall": (
-                        len(found & truth) / len(truth) if truth else 1.0
-                    ),
-                    "speedup_vs_full": (
-                        full.wall_time / res.wall_time
-                        if res.wall_time > 0
-                        else 0.0
-                    ),
-                    "effective_rate": stats.get("effective_rate", 1.0),
-                    "sampled_accesses": stats.get("sampled_accesses", 0),
-                    "skipped_accesses": stats.get("skipped_accesses", 0),
-                }
-            )
+    for tname in sorted(load_manifest(corpus)):
+        trace = Trace.load(os.path.join(corpus, f"{tname}.npz"))
+        for inner in inners:
+            full = _best_replay(trace, inner, repeats)
+            truth = _race_addrs(full)
+            full_keys = _race_keys(full)
+            full_stats = full.stats
+            for sampler in samplers:
+                for rate in rates:
+                    res = _best_replay(
+                        trace, f"{sampler}:{inner}", repeats, rate=rate
+                    )
+                    found = _race_addrs(res)
+                    stats = res.stats
+                    identical = None
+                    if rate >= 1.0:
+                        identical = (
+                            _race_keys(res) == full_keys
+                            and _inner_stats(stats) == full_stats
+                        )
+                    rows.append(
+                        {
+                            "trace": tname,
+                            "inner": inner,
+                            "sampler": sampler,
+                            "rate": rate,
+                            "events": len(trace),
+                            "full_races": len(truth),
+                            "found_races": len(found & truth),
+                            "extras": len(found - truth),
+                            "recall": (
+                                len(found & truth) / len(truth)
+                                if truth
+                                else 1.0
+                            ),
+                            "speedup_vs_full": (
+                                full.wall_time / res.wall_time
+                                if res.wall_time > 0
+                                else 0.0
+                            ),
+                            "effective_rate": stats.get(
+                                "effective_rate", 1.0
+                            ),
+                            "sampled_accesses": stats.get(
+                                "sampled_accesses", 0
+                            ),
+                            "skipped_accesses": stats.get(
+                                "skipped_accesses", 0
+                            ),
+                            "check_only_accesses": stats.get(
+                                "check_only_accesses", 0
+                            ),
+                            "check_supported": stats.get(
+                                "check_supported", False
+                            ),
+                            "deferred_epochs": stats.get(
+                                "deferred_epochs", 0
+                            ),
+                            "identical": identical,
+                        }
+                    )
     return rows
 
 
 def summarize(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
-    """Per-sampler aggregates over the corpus (mean/min recall, mean
-    speedup and effective rate), in sampler order of first appearance."""
-    order: List[str] = []
-    grouped: Dict[str, List[Dict[str, object]]] = {}
+    """Per (sampler, rate) aggregates over every (trace, inner) cell
+    (mean/min recall, mean speedup and effective rate), in order of
+    first appearance."""
+    order: List[Tuple[str, float]] = []
+    grouped: Dict[Tuple[str, float], List[Dict[str, object]]] = {}
     for row in rows:
-        sampler = row["sampler"]
-        if sampler not in grouped:
-            grouped[sampler] = []
-            order.append(sampler)
-        grouped[sampler].append(row)
+        key = (row["sampler"], row["rate"])
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(row)
     out: List[Dict[str, object]] = []
-    for sampler in order:
-        group = grouped[sampler]
+    for sampler, rate in order:
+        group = grouped[(sampler, rate)]
         n = len(group)
         out.append(
             {
                 "sampler": sampler,
-                "traces": n,
+                "rate": rate,
+                "cells": n,
+                "inners": len({r["inner"] for r in group}),
+                "traces": len({r["trace"] for r in group}),
                 "mean_recall": sum(r["recall"] for r in group) / n,
                 "min_recall": min(r["recall"] for r in group),
                 "mean_speedup": (
@@ -128,16 +202,44 @@ def summarize(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
     return out
 
 
+def identity_failures(
+    rows: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Rate-1.0 cells that were not byte-identical to the bare inner."""
+    return [
+        {
+            "trace": r["trace"],
+            "inner": r["inner"],
+            "sampler": r["sampler"],
+        }
+        for r in rows
+        if r["identical"] is False
+    ]
+
+
 def sampling_report(
     corpus_dir: Optional[str] = None,
     samplers: Sequence[str] = SAMPLERS,
+    inners: Sequence[str] = DEFAULT_INNERS,
+    rates: Optional[Sequence[float]] = None,
     repeats: int = 3,
+    quick: bool = False,
 ) -> Dict[str, object]:
     """The section embedded under ``"sampling"`` in the bench JSON."""
-    rows = recall_rows(corpus_dir, samplers, repeats)
+    if rates is None:
+        rates = QUICK_RATES if quick else DEFAULT_RATES
+    rows = grid_rows(corpus_dir, samplers, inners, rates, repeats)
+    failures = identity_failures(rows)
     return {
         "schema": SAMPLING_SCHEMA,
-        "full_detector": FULL_DETECTOR,
+        "samplers": list(samplers),
+        "inners": list(inners),
+        "rates": list(rates),
         "rows": rows,
         "summary": summarize(rows),
+        "identity": {
+            "cells": sum(1 for r in rows if r["identical"] is not None),
+            "failures": failures,
+            "ok": not failures,
+        },
     }

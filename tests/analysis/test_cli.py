@@ -58,6 +58,22 @@ def test_unknown_detector_rejected():
         main(["run", "-w", "ffmpeg", "-d", "bogus"])
 
 
+def test_colon_sampler_names_accepted(capsys):
+    """-d takes sampler compositions: 'sampler:inner' colon names."""
+    assert (
+        main(["run", "-w", "ffmpeg", "-d", "o1:dynamic", "--scale", "0.2"])
+        == 0
+    )
+    assert "o1:dynamic" in capsys.readouterr().out
+
+
+def test_colon_name_with_unknown_part_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "-w", "ffmpeg", "-d", "bogus:dynamic"])
+    with pytest.raises(SystemExit):
+        main(["run", "-w", "ffmpeg", "-d", "pacer:bogus"])
+
+
 def test_unknown_table_rejected():
     with pytest.raises(SystemExit):
         main(["table", "9"])

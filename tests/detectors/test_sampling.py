@@ -47,11 +47,31 @@ def test_literace_hot_sites_decay():
 
 def test_literace_sync_always_exact():
     """Clocks must stay exact even when accesses are skipped."""
-    det = _forked(LiteRaceDetector(floor_rate=0.01, burst=1))
+    det = _forked(
+        LiteRaceDetector(floor_rate=0.01, burst=1, lazy_timestamps=False)
+    )
     for _ in range(100):
         det.on_acquire(0, 1)
         det.on_release(0, 1)
     assert det.inner.thread_vc[0].get(0) > 100
+
+
+def test_lazy_timestamps_collapse_empty_epochs():
+    """Under lazy sampled-epoch timestamping the 100 access-free
+    releases collapse into one pending increment, materialized by the
+    next recorded access."""
+    det = _forked(LiteRaceDetector(floor_rate=0.01, burst=1))
+    assert det.lazy_timestamps
+    start = det.inner.thread_vc[0].get(0)
+    for _ in range(100):
+        det.on_acquire(0, 1)
+        det.on_release(0, 1)
+    # nothing recorded yet: the increments are all deferred (the fork
+    # pended the first; each release collapsed into it)
+    assert det.inner.thread_vc[0].get(0) == start
+    assert det.inner.deferred_epochs == 100
+    det.on_write(0, 0x10, 1, site=1)  # cold site: sampled -> materialize
+    assert det.inner.thread_vc[0].get(0) == start + 1
 
 
 def test_literace_deterministic():
@@ -92,13 +112,31 @@ def test_pacer_check_only_can_catch_one_sided():
     check-only access from an unsampled epoch."""
     det = PacerDetector(rate=1.0)
     det._period = 2  # sample every other epoch per thread
-    det.on_fork(0, 1)
-    det.on_write(0, 0x10, 1, site=1)  # epoch index 0: sampled, recorded
-    det.on_acquire(1, 9)
-    det.on_release(1, 9)              # thread 1 -> epoch index 1: unsampled
+    det.on_fork(0, 1)                 # fork starts an epoch: idx[0] -> 1
+    det.on_acquire(0, 9)
+    det.on_release(0, 9)              # idx[0] -> 2: sampled
+    det.on_write(0, 0x10, 1, site=1)  # recorded
+    det.on_acquire(1, 8)
+    det.on_release(1, 8)              # idx[1] -> 1: unsampled
     det.on_write(1, 0x10, 1, site=2)  # check-only: still races
     det.finish()
     assert len(det.races) == 1
+    assert det.races[0].prev_tid == 0
+    assert det.check_only_accesses == 1
+
+
+def test_pacer_epoch_index_advances_on_fork_and_join():
+    """Fork and join start epochs in the inner runtime, so the sampling
+    period index must advance with them, not just with releases."""
+    det = PacerDetector(rate=0.5)
+    assert det._epoch_index.get(0, 0) == 0
+    det.on_fork(0, 1)
+    assert det._epoch_index[0] == 1
+    det.on_join(0, 1)
+    assert det._epoch_index[0] == 2
+    det.on_acquire(0, 9)
+    det.on_release(0, 9)
+    assert det._epoch_index[0] == 3
 
 
 def test_pacer_detection_rate_scales(capsys):

@@ -1,71 +1,74 @@
-"""Sampling recall harness: conformance at rate 1.0, honesty below it.
+"""Sampling recall grid: identity at rate 1.0, honesty below it.
 
-The harness (repro.perf.sampling) measures what the LiteRace/Pacer
-wrappers actually deliver — recall against the full FastTrack race set
-and wall-clock speedup — over the frozen golden corpus.  Two contracts
-are pinned here:
+The grid (repro.perf.sampling) measures what the sampling wrappers
+actually deliver — recall against each inner detector's full race set
+and wall-clock speedup — for every {policy} × {rate} × {inner} cell
+over the frozen golden corpus.  Contracts pinned here:
 
-* at sampling rate 1.0 both samplers ARE the full detector: identical
-  race reports on every golden trace (so any recall below 1.0 in the
-  report is the sampling policy's doing, not a wrapper bug);
-* the report's numbers are internally consistent (recall within [0, 1],
-  found + missed = full, effective rate matches the sampled/skipped
-  counters).
+* the grid really is a grid: ≥3 policies × ≥4 inner detectors × the
+  rate ladder, one row per (trace, inner, sampler, rate) cell;
+* every rate-1.0 cell is byte-identical to the bare inner detector
+  (so any recall below 1.0 in the report is the sampling policy's
+  doing, not a wrapper bug);
+* the report's numbers are internally consistent (recall within
+  [0, 1], found ≤ full, effective rate matches the sampled/skipped
+  counters) and the summary aggregates match the rows.
 """
-
-import os
 
 import pytest
 
-from repro.detectors.registry import create_detector
-from repro.detectors.sampling import LiteRaceDetector, PacerDetector
 from repro.perf.sampling import (
-    FULL_DETECTOR,
+    DEFAULT_INNERS,
+    QUICK_RATES,
     SAMPLERS,
     SAMPLING_SCHEMA,
-    recall_rows,
+    grid_rows,
+    identity_failures,
     sampling_report,
     summarize,
 )
-from repro.runtime.trace import Trace
-from repro.runtime.vm import replay
-from repro.testing.golden import default_corpus_dir, load_manifest
-from repro.workloads.base import default_suppression
+from repro.testing.golden import load_manifest
 
 GOLDEN = sorted(load_manifest())
 
-
-def _race_keys(result):
-    return [r.as_list() for r in result.races]
-
-
-def _load(name):
-    return Trace.load(os.path.join(default_corpus_dir(), f"{name}.npz"))
+# One grid computation for the whole module — the rows are
+# deterministic, so every test can assert against the same sweep.
+_RATES = QUICK_RATES
 
 
-@pytest.mark.parametrize("name", GOLDEN)
-def test_full_rate_samplers_match_fasttrack(name):
-    trace = _load(name)
-    base = replay(
-        trace, create_detector(FULL_DETECTOR, suppress=default_suppression)
+@pytest.fixture(scope="module")
+def rows():
+    return grid_rows(rates=_RATES, repeats=1)
+
+
+def test_grid_dimensions(rows):
+    assert len(SAMPLERS) >= 3
+    assert len(DEFAULT_INNERS) >= 4
+    assert len(rows) == (
+        len(GOLDEN) * len(DEFAULT_INNERS) * len(SAMPLERS) * len(_RATES)
     )
-    always_literace = LiteRaceDetector(
-        floor_rate=1.0, suppress=default_suppression
-    )
-    always_pacer = PacerDetector(rate=1.0, suppress=default_suppression)
-    for det in (always_literace, always_pacer):
-        res = replay(trace, det)
-        assert _race_keys(res) == _race_keys(base), type(det).__name__
-        assert res.stats["effective_rate"] == 1.0
-        assert res.stats["skipped_accesses"] == 0
+    assert {r["sampler"] for r in rows} == set(SAMPLERS)
+    assert {r["inner"] for r in rows} == set(DEFAULT_INNERS)
+    assert {r["rate"] for r in rows} == set(_RATES)
 
 
-def test_recall_rows_are_consistent():
-    rows = recall_rows(repeats=1)
-    assert len(rows) == len(GOLDEN) * len(SAMPLERS)
-    seen = set()
+def test_full_rate_cells_identical_to_bare_inner(rows):
+    """Every rate-1.0 cell must be byte-identical (races + inner
+    statistics) to the unsampled inner detector."""
+    full = [r for r in rows if r["rate"] >= 1.0]
+    assert len(full) == len(GOLDEN) * len(DEFAULT_INNERS) * len(SAMPLERS)
+    assert all(r["identical"] is True for r in full)
+    assert identity_failures(rows) == []
+    for r in full:
+        assert r["recall"] == 1.0
+        assert r["skipped_accesses"] == 0
+        assert r["effective_rate"] == 1.0
+        # lazy timestamping must be off at rate 1.0: no deferrals
+        assert r["deferred_epochs"] == 0
+
+
+def test_grid_rows_are_consistent(rows):
     for row in rows:
-        seen.add(row["sampler"])
         assert 0.0 <= row["recall"] <= 1.0
         assert row["found_races"] <= row["full_races"]
         if row["full_races"]:
@@ -79,28 +82,55 @@ def test_recall_rows_are_consistent():
             assert row["effective_rate"] == pytest.approx(
                 row["sampled_accesses"] / total
             )
-    assert seen == set(SAMPLERS)
+        if row["rate"] < 1.0:
+            assert row["identical"] is None
 
 
-def test_samplers_actually_sample():
-    """Default rates must skip a nonzero fraction of accesses on at
-    least one golden trace — otherwise the 'speedup' column measures
-    nothing."""
-    rows = recall_rows(repeats=1)
+def test_samplers_actually_sample(rows):
+    """Sub-1.0 rates must skip a nonzero fraction of accesses on at
+    least one cell per sampler — otherwise the 'speedup' column
+    measures nothing."""
     for sampler in SAMPLERS:
         skipped = sum(
-            r["skipped_accesses"] for r in rows if r["sampler"] == sampler
+            r["skipped_accesses"]
+            for r in rows
+            if r["sampler"] == sampler and r["rate"] < 1.0
         )
         assert skipped > 0, f"{sampler} never skipped an access"
 
 
-def test_summary_aggregates():
-    rows = recall_rows(repeats=1)
+def test_check_only_paths_exercised(rows):
+    """Pacer and o1 run the check-only protocol on skipped accesses;
+    every default inner supports it, so checks must be nonzero."""
+    for sampler in ("pacer", "o1"):
+        group = [
+            r for r in rows if r["sampler"] == sampler and r["rate"] < 1.0
+        ]
+        assert all(r["check_supported"] for r in group)
+        assert sum(r["check_only_accesses"] for r in group) > 0
+
+
+def test_lazy_timestamping_defers_epochs(rows):
+    """Sub-1.0 cells over lazy-capable inners must actually collapse
+    some access-free epochs on the bigger traces."""
+    deferred = sum(
+        r["deferred_epochs"] for r in rows if r["rate"] < 1.0
+    )
+    assert deferred > 0
+
+
+def test_summary_aggregates(rows):
     summary = summarize(rows)
-    assert [s["sampler"] for s in summary] == list(SAMPLERS)
+    assert len(summary) == len(SAMPLERS) * len(_RATES)
     for srow in summary:
-        group = [r for r in rows if r["sampler"] == srow["sampler"]]
-        assert srow["traces"] == len(group)
+        group = [
+            r
+            for r in rows
+            if r["sampler"] == srow["sampler"] and r["rate"] == srow["rate"]
+        ]
+        assert srow["cells"] == len(group)
+        assert srow["inners"] == len(DEFAULT_INNERS)
+        assert srow["traces"] == len(GOLDEN)
         assert srow["mean_recall"] == pytest.approx(
             sum(r["recall"] for r in group) / len(group)
         )
@@ -109,10 +139,13 @@ def test_summary_aggregates():
 
 
 def test_sampling_report_shape():
-    report = sampling_report(repeats=1)
+    report = sampling_report(rates=(1.0,), repeats=1)
     assert report["schema"] == SAMPLING_SCHEMA
-    assert report["full_detector"] == FULL_DETECTOR
+    assert report["samplers"] == list(SAMPLERS)
+    assert report["inners"] == list(DEFAULT_INNERS)
     assert report["rows"] and report["summary"]
+    assert report["identity"]["ok"]
+    assert report["identity"]["cells"] == len(report["rows"])
 
 
 def test_bench_embeds_sampling_section():
@@ -126,5 +159,10 @@ def test_bench_embeds_sampling_section():
         quick=True,
         sampling=True,
     )
-    assert result["sampling"]["schema"] == SAMPLING_SCHEMA
-    assert len(result["sampling"]["rows"]) == len(GOLDEN) * len(SAMPLERS)
+    section = result["sampling"]
+    assert section["schema"] == SAMPLING_SCHEMA
+    assert section["rates"] == list(QUICK_RATES)
+    assert len(section["rows"]) == (
+        len(GOLDEN) * len(DEFAULT_INNERS) * len(SAMPLERS) * len(QUICK_RATES)
+    )
+    assert section["identity"]["ok"]
