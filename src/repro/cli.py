@@ -457,6 +457,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--idle-timeout", type=float,
         help="shed mid-stream clients silent this long (default: never)",
     )
+    serve.add_argument(
+        "--peer",
+        help="HOST:PORT of a peer daemon; SIGTERM drain live-migrates "
+        "tenants there instead of parking them locally",
+    )
+    serve.add_argument(
+        "--keys",
+        help="enable HMAC wire auth: inline JSON tenant→key map "
+        '(e.g. \'{"*": "<hex>"}\'; "*" is the fleet default) or @FILE',
+    )
+    serve.add_argument(
+        "--keep-checkpoints", type=int, default=3,
+        help="checkpoint generations kept per tenant; older ones are "
+        "GC'd after each commit (min 2)",
+    )
+    serve.add_argument(
+        "--migrate-timeout", type=float, default=15.0,
+        help="deadline for one cross-host migration round trip",
+    )
+
+    mig = sub.add_parser(
+        "migrate",
+        help="live-migrate one tenant session to a peer daemon",
+    )
+    mig.add_argument(
+        "address", help="HOST:PORT of the daemon currently holding the tenant"
+    )
+    mig.add_argument("tenant")
+    mig.add_argument(
+        "--peer",
+        help="HOST:PORT destination (default: the source daemon's "
+        "configured --peer; required when --key is given)",
+    )
+    mig.add_argument(
+        "--key",
+        help="tenant auth key authorizing the export on a keyed daemon",
+    )
+    mig.add_argument("--timeout", type=float, default=30.0)
 
     lg = sub.add_parser(
         "loadgen",
@@ -486,6 +524,25 @@ def _build_parser() -> argparse.ArgumentParser:
     lg.add_argument(
         "--out", "-o", default="BENCH_server.json",
         help="result JSON path (default: BENCH_server.json)",
+    )
+    lg.add_argument(
+        "--soak", type=float, metavar="SECONDS",
+        help="chaos soak: run tenants for SECONDS against an "
+        "authenticated daemon pair while a controller live-migrates, "
+        "hard-kills and drain-evacuates them (ignores --connect)",
+    )
+    lg.add_argument(
+        "--chaos-interval", type=float,
+        help="seconds between soak chaos actions (default: SECONDS/12)",
+    )
+    lg.add_argument(
+        "--slo", action="store_true",
+        help="append this run to --history and fail on p99/p99.9 or "
+        "recovery-counter regression vs the best comparable prior run",
+    )
+    lg.add_argument(
+        "--history", default=None,
+        help="SLO history JSONL path (default: BENCH_server_history.jsonl)",
     )
 
     return parser
@@ -946,6 +1003,30 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _parse_hostport(text: str, flag: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad {flag} value {text!r} (want HOST:PORT)")
+    return (host, int(port))
+
+
+def _parse_keys(spec: str):
+    """--keys: inline JSON tenant→key map, or @FILE holding one."""
+    import json as _json
+
+    text = spec
+    if spec.startswith("@"):
+        with open(spec[1:]) as fh:
+            text = fh.read()
+    try:
+        keys = _json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"bad --keys value: {exc}")
+    if not isinstance(keys, dict) or not keys:
+        raise SystemExit("--keys must be a non-empty JSON object")
+    return keys
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import signal
@@ -964,15 +1045,26 @@ def _cmd_serve(args) -> int:
         shed_after=args.shed_after,
         watchdog_timeout=args.watchdog_timeout,
         idle_timeout=args.idle_timeout,
+        peer=_parse_hostport(args.peer, "--peer") if args.peer else None,
+        auth_keys=_parse_keys(args.keys) if args.keys else None,
+        keep_checkpoints=args.keep_checkpoints,
+        migrate_timeout=args.migrate_timeout,
     )
     server = RaceServer(config)
 
     async def _run() -> None:
         await server.start()
+        extras = []
+        if config.auth_keys:
+            extras.append("auth required")
+        if config.peer:
+            extras.append(f"peer {config.peer[0]}:{config.peer[1]}")
         print(
             f"repro-race serve: listening on {config.host}:{server.port} "
             f"(default detector {config.detector}, "
-            f"checkpoints under {config.checkpoint_root})"
+            f"checkpoints under {config.checkpoint_root}"
+            + ("".join(", " + e for e in extras))
+            + ")"
         )
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
@@ -983,7 +1075,8 @@ def _cmd_serve(args) -> int:
         await server.shutdown()
         print(
             f"repro-race serve: drained "
-            f"{server.stats['drained_tenants']} live tenant(s), bye"
+            f"{server.stats['drained_tenants']} live tenant(s), "
+            f"evacuated {server.stats['evacuations']} to the peer, bye"
         )
 
     asyncio.run(_run())
@@ -991,35 +1084,102 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_loadgen(args) -> int:
-    from repro.server.loadgen import format_loadgen, run_loadgen
-
-    address = None
-    if args.connect:
-        host, _, port = args.connect.rpartition(":")
-        if not host or not port.isdigit():
-            print(f"bad --connect value {args.connect!r} (want HOST:PORT)")
-            return 2
-        address = (host, int(port))
-    body = run_loadgen(
-        address,
-        tenants=args.tenants,
-        workload=args.workload,
-        scale=args.scale,
-        seed=args.seed,
-        detector=args.detector,
-        batch_events=args.batch_events,
-        faults=not args.no_faults,
-        quick=args.quick,
-        out=args.out,
+    from repro.server.loadgen import (
+        format_loadgen,
+        format_soak,
+        run_loadgen,
+        run_soak,
     )
-    print(format_loadgen(body))
+
+    if args.soak is not None:
+        body = run_soak(
+            seconds=args.soak,
+            tenants=args.tenants,
+            workload=args.workload,
+            scale=args.scale,
+            seed=args.seed,
+            detector=args.detector,
+            batch_events=args.batch_events,
+            quick=args.quick,
+            chaos_interval=args.chaos_interval,
+            out=args.out,
+        )
+        print(format_soak(body))
+    else:
+        address = None
+        if args.connect:
+            address = _parse_hostport(args.connect, "--connect")
+        body = run_loadgen(
+            address,
+            tenants=args.tenants,
+            workload=args.workload,
+            scale=args.scale,
+            seed=args.seed,
+            detector=args.detector,
+            batch_events=args.batch_events,
+            faults=not args.no_faults,
+            quick=args.quick,
+            out=args.out,
+        )
+        print(format_loadgen(body))
     print(f"wrote {args.out}")
+
+    failed = False
     if body["recovery_divergences"]:
         print(
-            f"FAIL: {body['recovery_divergences']} migrated session(s) "
+            f"FAIL: {body['recovery_divergences']} session(s) "
             "diverged from their uninterrupted twin"
         )
+        failed = True
+    errors = body.get("soak", {}).get("tenant_error_count", 0)
+    if errors:
+        print(f"FAIL: {errors} tenant cycle(s) errored during the soak")
+        failed = True
+
+    if args.slo or args.history:
+        from repro.server.slo import (
+            DEFAULT_SERVER_HISTORY,
+            append_server_history,
+            check_server_slo,
+            comparable_server_runs,
+            format_server_slo,
+            load_server_history,
+        )
+
+        path = args.history or DEFAULT_SERVER_HISTORY
+        # Load priors first: the gate compares against history that
+        # does NOT include the line this run appends.
+        priors = load_server_history(path)
+        line = append_server_history(body, path)
+        regressions = check_server_slo(line, priors)
+        print(format_server_slo(regressions, comparable_server_runs(line, priors)))
+        print(f"appended SLO history line to {path}")
+        if args.slo and regressions:
+            failed = True
+    return 1 if failed else 0
+
+
+def _cmd_migrate(args) -> int:
+    from repro.server.client import migrate_tenant
+    from repro.server.protocol import ServerError
+
+    address = _parse_hostport(args.address, "address")
+    peer = _parse_hostport(args.peer, "--peer") if args.peer else None
+    try:
+        ack = migrate_tenant(
+            address,
+            args.tenant,
+            peer=peer,
+            key=args.key,
+            timeout=args.timeout,
+        )
+    except (ServerError, ValueError, OSError, TimeoutError) as exc:
+        print(f"migrate failed: {exc}")
         return 1
+    print(
+        f"migrated {args.tenant!r}: {ack.get('events_done')} events, "
+        f"{ack.get('races_sent')} race(s) already reported"
+    )
     return 0
 
 
@@ -1058,6 +1218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "migrate":
+        return _cmd_migrate(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

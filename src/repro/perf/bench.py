@@ -465,9 +465,15 @@ _GATE_METRICS = ("events_per_sec", "events_per_sec_batched")
 GATE_THRESHOLD = 0.2
 
 
-def load_history(path: str) -> List[Dict[str, object]]:
-    """Parse ``BENCH_history.jsonl``, skipping lines that are not valid
-    history records (a truncated append must not wedge the gate)."""
+def load_history(
+    path: str,
+    schema: str = HISTORY_SCHEMA,
+    list_field: Optional[str] = "rows",
+) -> List[Dict[str, object]]:
+    """Parse a JSONL run log, skipping lines that are not valid history
+    records (a truncated append must not wedge the gate).  ``schema``
+    and ``list_field`` let other subsystems (the server SLO gate) reuse
+    the same tolerant loader for their own history files."""
     lines: List[Dict[str, object]] = []
     if not os.path.exists(path):
         return lines
@@ -482,8 +488,11 @@ def load_history(path: str) -> List[Dict[str, object]]:
                 continue
             if (
                 isinstance(line, dict)
-                and line.get("schema") == HISTORY_SCHEMA
-                and isinstance(line.get("rows"), list)
+                and line.get("schema") == schema
+                and (
+                    list_field is None
+                    or isinstance(line.get(list_field), list)
+                )
             ):
                 lines.append(line)
     return lines

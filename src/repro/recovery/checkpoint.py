@@ -127,21 +127,33 @@ def read_checkpoint(path: str) -> Tuple[dict, dict]:
     mismatch; a state dict is only ever returned when the payload's
     checksum, length, compression and JSON all verified.
     """
-    manifest, payload = _read_raw(path)
+    return _verify(_read_raw(path), path)
+
+
+def read_checkpoint_bytes(blob: bytes, label: str = "<bytes>") -> Tuple[dict, dict]:
+    """:func:`read_checkpoint` over an in-memory checkpoint image — the
+    form a cross-host migration ships over the wire.  Same verification,
+    same :class:`CheckpointError` taxonomy; ``label`` only names the
+    blob in error messages."""
+    return _verify(_parse_blob(blob, label), label)
+
+
+def _verify(parsed: Tuple[dict, bytes], label: str) -> Tuple[dict, dict]:
+    manifest, payload = parsed
     if len(payload) != manifest["payload_bytes"]:
         raise CheckpointError(
-            f"{path}: truncated payload "
+            f"{label}: truncated payload "
             f"({len(payload)} of {manifest['payload_bytes']} bytes)"
         )
     digest = hashlib.sha256(payload).hexdigest()
     if digest != manifest["payload_sha256"]:
-        raise CheckpointError(f"{path}: payload checksum mismatch")
+        raise CheckpointError(f"{label}: payload checksum mismatch")
     try:
         state = json.loads(zlib.decompress(payload))
     except (zlib.error, ValueError) as exc:
-        raise CheckpointError(f"{path}: undecodable payload: {exc}") from exc
+        raise CheckpointError(f"{label}: undecodable payload: {exc}") from exc
     if not isinstance(state, dict):
-        raise CheckpointError(f"{path}: payload is not a state dict")
+        raise CheckpointError(f"{label}: payload is not a state dict")
     return manifest, state
 
 
@@ -151,6 +163,10 @@ def _read_raw(path: str) -> Tuple[dict, bytes]:
             blob = fh.read()
     except OSError as exc:
         raise CheckpointError(f"{path}: unreadable: {exc}") from exc
+    return _parse_blob(blob, path)
+
+
+def _parse_blob(blob: bytes, path: str) -> Tuple[dict, bytes]:
     if not blob.startswith(MAGIC):
         raise CheckpointError(f"{path}: not a checkpoint file (bad magic)")
     newline = blob.find(b"\n", len(MAGIC))

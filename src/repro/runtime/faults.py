@@ -56,6 +56,26 @@ tests act them out on the wire:
 ``corrupt-frame``
     The client sends a garbage frame at ``at_event``.  The daemon must
     reply with a typed protocol error poisoning *only* that session.
+
+Daemon-side kinds (:data:`DAEMON_KINDS`) are acted out by the chaos
+controller of the soak harness (``loadgen --soak``) against the
+*daemon process itself*, not by any one client; ``at_event`` is
+meaningless for them and ignored:
+
+``kill-daemon``
+    Hard-crash a daemon: abort every live connection, close the
+    listener and tear down the worker pool with work in flight, then
+    restart it on the same port.  Every attached tenant must recover
+    from its durable checkpoints with byte-identical results.
+``migrate-tenant``
+    Live-migrate an attached tenant to the peer daemon mid-stream
+    (checkpoint + replay-tail shipped over MIGRATE_IMPORT); the client
+    is redirected via ``MIGRATED`` and must resume byte-identically on
+    the new host.
+``drain-daemon``
+    SIGTERM-style graceful drain: the daemon stops accepting sessions,
+    parks or evacuates (``--peer``) live tenants, flushes checkpoints,
+    and exits; a replacement takes over the port.
 """
 
 from __future__ import annotations
@@ -72,6 +92,9 @@ KILL_DETECTOR = "kill-detector-at-event"
 DROP_CONNECTION = "drop-connection"
 STALL_CLIENT = "stall-client"
 CORRUPT_FRAME = "corrupt-frame"
+KILL_DAEMON = "kill-daemon"
+MIGRATE_TENANT = "migrate-tenant"
+DRAIN_DAEMON = "drain-daemon"
 
 #: Every injectable fault kind.
 FAULT_KINDS = (
@@ -83,6 +106,9 @@ FAULT_KINDS = (
     DROP_CONNECTION,
     STALL_CLIENT,
     CORRUPT_FRAME,
+    KILL_DAEMON,
+    MIGRATE_TENANT,
+    DRAIN_DAEMON,
 )
 
 #: Kinds the scheduler itself acts on while generating the trace.
@@ -95,6 +121,11 @@ DETECTOR_KINDS = (KILL_DETECTOR,)
 #: Kinds acted out on the wire by detection-server *clients* (the load
 #: generator and soak tests); the scheduler and replay VM ignore them.
 SERVER_KINDS = (DROP_CONNECTION, STALL_CLIENT, CORRUPT_FRAME)
+
+#: Kinds the soak harness's chaos controller acts out against daemon
+#: processes (kill/restart, live migration, graceful drain); clients,
+#: the scheduler and the replay VM all ignore them.
+DAEMON_KINDS = (KILL_DAEMON, MIGRATE_TENANT, DRAIN_DAEMON)
 
 #: Default generation mix: truncation is excluded because it silently
 #: shortens every measurement the trace feeds; campaigns opt in.

@@ -20,12 +20,24 @@ reconnects with the same tenant id, learns the acknowledged cursor from
 the WELCOME frame, and restreams only the unacknowledged suffix of its
 local event journal.  Races are never duplicated across reconnects —
 the server's race cursor is part of the parked session.
+
+Survivability (ALGORITHM.md §15).  ``addresses`` takes an *ordered host
+list*: each host gets a circuit breaker (a few consecutive failures
+open it for a cooldown, so a dead daemon costs one timeout, not one per
+retry), reconnects use decorrelated-jitter backoff, and three server
+signals steer the failover order — ``MIGRATED`` moves the named peer to
+the front and carries the one-time handoff token the new host demands,
+``SHUTTING_DOWN`` demotes the draining host, and a refused connection
+trips the breaker.  With a shared ``key`` the client answers the HELLO
+challenge and seals every subsequent frame; ``rotate_key`` switches to
+a rotated key mid-stream without dropping the connection.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import random
 import socket
 import time
 from typing import Callable, List, Optional, Tuple
@@ -49,9 +61,42 @@ _TENANT_SEQ = itertools.count()
 #: rather than "the session is dead".
 RECONNECTABLE = (P.E_OVERLOADED, P.E_IDLE_TIMEOUT)
 
+#: Error codes that mean "this *host* is unavailable, the session may
+#: live elsewhere" — demote the host and fail over.
+FAILOVER = (P.E_SHUTTING_DOWN, P.E_TENANT_BUSY)
+
 
 def _auto_tenant() -> str:
     return f"client-{os.getpid()}-{next(_TENANT_SEQ)}"
+
+
+class CircuitBreaker:
+    """Per-host connect gate: ``threshold`` consecutive failures open
+    the circuit for ``cooldown`` seconds, during which the host is
+    skipped (unless every host is open — then all are tried anyway,
+    because failing fast with peers left is worse than one timeout)."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 2.0):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self.open_until = 0.0
+        self.trips = 0
+
+    @property
+    def open(self) -> bool:
+        return time.monotonic() < self.open_until
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.open_until = time.monotonic() + self.cooldown
+            self.trips += 1
+            self.failures = 0
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.open_until = 0.0
 
 
 class Detector:
@@ -61,22 +106,44 @@ class Detector:
         self,
         detector: str = "fasttrack",
         *,
-        address: Tuple[str, int],
+        address: Optional[Tuple[str, int]] = None,
+        addresses: Optional[List[Tuple[str, int]]] = None,
         tenant: Optional[str] = None,
+        key=None,
         batch_events: int = 4096,
         timeout: float = 30.0,
         max_reconnects: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 2.0,
         options: Optional[dict] = None,
     ):
         if batch_events < 1:
             raise ValueError("batch_events must be >= 1")
-        self.address = address
+        hosts = list(addresses or [])
+        if address is not None and address not in hosts:
+            hosts.insert(0, address)
+        if not hosts:
+            raise ValueError("need an address or a non-empty addresses list")
+        #: ordered failover preference; reordered by MIGRATED and
+        #: SHUTTING_DOWN signals, index 0 is tried first
+        self.addresses = [(str(h), int(p)) for h, p in hosts]
+        self.address = self.addresses[0]  # host currently connected to
         self.tenant = tenant or _auto_tenant()
         self.detector = detector
+        self.key = key
         self.batch_events = batch_events
         self.timeout = timeout
         self.max_reconnects = max_reconnects
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self._options = dict(options or {})
+        self.breakers = {
+            addr: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for addr in self.addresses
+        }
+        self._breaker_args = (breaker_threshold, breaker_cooldown)
         #: full local journal; the resend source after a shed/reconnect
         self._journal: List[tuple] = []
         self._sent = 0  # rows streamed (not necessarily acked)
@@ -86,46 +153,122 @@ class Detector:
         self.welcome: Optional[dict] = None
         self.reconnects = 0
         self.sheds_seen = 0
+        self.failovers = 0
+        self.migrations_seen = 0
+        self._handoff: Optional[str] = None  # one-time migration token
         self._callbacks: List[Callable[[RaceReport], None]] = []
         self._sock: Optional[socket.socket] = None
         self._decoder = P.FrameDecoder()
+        self._send_seq = 0
+        self._authed = False
+        self._nonce: Optional[bytes] = None
+        self._ever_connected = False
         self._connect(first=True)
 
     # ------------------------------------------------------------------
     # connection management
     # ------------------------------------------------------------------
     def _connect(self, first: bool = False) -> None:
-        self._sock = socket.create_connection(
-            self.address, timeout=self.timeout
+        """Try each host in preference order (skipping open circuits
+        unless every circuit is open) until one admits the session."""
+        ordered = list(self.addresses)
+        candidates = [a for a in ordered if not self.breakers[a].open]
+        if not candidates:
+            candidates = ordered
+        last_err: Optional[Exception] = None
+        for addr in candidates:
+            try:
+                self._connect_to(addr)
+            except P.ServerError as exc:
+                self._close_socket()
+                if exc.code in FAILOVER or exc.code in RECONNECTABLE:
+                    self.breakers[addr].record_failure()
+                    last_err = exc
+                    continue
+                raise  # AUTH, BAD_HELLO, ... — no other host will differ
+            except (OSError, TimeoutError, ConnectionError) as exc:
+                self._close_socket()
+                self.breakers[addr].record_failure()
+                last_err = exc
+                continue
+            self.breakers[addr].record_success()
+            if self.address != addr:
+                if self._ever_connected:
+                    self.failovers += 1
+                self.address = addr
+            self._ever_connected = True
+            if not first:
+                self.reconnects += 1
+            return
+        raise ConnectionError(
+            f"no host in {self.addresses} admitted tenant "
+            f"{self.tenant!r}: {last_err}"
         )
+
+    def _connect_to(self, addr: Tuple[str, int]) -> None:
+        self._sock = socket.create_connection(addr, timeout=self.timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._decoder = P.FrameDecoder()
+        self._send_seq = 0
+        self._authed = False
         options = dict(self._options)
         options["tenant"] = self.tenant
         options["detector"] = self.detector
+        if self._ever_connected:
+            # A restarted daemon should adopt any checkpoints a drained
+            # predecessor (or an import) left for this tenant.
+            options["resume"] = True
+        if self._handoff is not None:
+            options["handoff"] = self._handoff
         self._sock.sendall(P.pack_frame(P.T_HELLO, P.encode_hello(options)))
-        welcome = self._wait_for(P.T_WELCOME)
-        self.welcome = P.loads_json(welcome)
+        ftype, payload = self._wait_for_any((P.T_WELCOME, P.T_CHALLENGE))
+        if ftype == P.T_CHALLENGE:
+            if self.key is None:
+                raise P.ServerError(
+                    P.E_AUTH,
+                    f"{addr[0]}:{addr[1]} requires a shared key for "
+                    f"tenant {self.tenant!r}",
+                )
+            body = P.loads_json(payload)
+            self._nonce = bytes.fromhex(str(body["nonce"]))
+            mac = P.hello_mac(self.key, self._nonce, self.tenant)
+            self._sock.sendall(
+                P.pack_frame(P.T_AUTH, P.dumps_canonical({"mac": mac}))
+            )
+            payload = self._wait_for(P.T_WELCOME)
+            self._authed = True
+        self.welcome = P.loads_json(payload)
+        self._handoff = None  # consumed by the host that welcomed us
         # Resume from the server's cursor: anything past it is resent.
         # The cursor is also a commit acknowledgement.
         self._sent = int(self.welcome["events_done"])
         self.acked = max(self.acked, self._sent)
-        if not first:
-            self.reconnects += 1
 
     def _reconnect(self) -> None:
         self._close_socket()
         last_err: Optional[Exception] = None
+        sleep = self.backoff_base
         for attempt in range(self.max_reconnects):
-            time.sleep(min(0.05 * (2**attempt), 1.0))
+            if attempt:
+                # Decorrelated jitter: spread a thundering herd of
+                # resuming clients without a coordinated clock.
+                time.sleep(sleep)
+                sleep = min(
+                    self.backoff_cap,
+                    random.uniform(self.backoff_base, sleep * 3),
+                )
             try:
                 self._connect()
                 return
-            except (OSError, P.ServerError) as exc:
+            except (OSError, TimeoutError, ConnectionError) as exc:
+                last_err = exc
+            except P.ServerError as exc:
+                if exc.code not in FAILOVER and exc.code not in RECONNECTABLE:
+                    raise
                 last_err = exc
         raise P.ServerError(
             P.E_INTERNAL,
-            f"could not reconnect to {self.address} after "
+            f"could not reconnect to any of {self.addresses} after "
             f"{self.max_reconnects} attempts: {last_err}",
         )
 
@@ -157,23 +300,30 @@ class Detector:
                 str(body.get("code", P.E_INTERNAL)),
                 str(body.get("message", "")),
                 bool(body.get("fatal", True)),
+                {k: v for k, v in body.items()
+                 if k not in ("code", "message", "fatal")},
             )
         # WELCOME / STATS are consumed by their dedicated waits.
 
     def _wait_for(self, ftype: int) -> bytes:
         """Block until a frame of ``ftype`` arrives, handling everything
         else (races, acks, errors) along the way."""
+        return self._wait_for_any((ftype,))[1]
+
+    def _wait_for_any(self, ftypes: Tuple[int, ...]) -> Tuple[int, bytes]:
         deadline = time.monotonic() + self.timeout
         self._require_sock().settimeout(self.timeout)
         while True:
             for got, payload in self._pump_once():
-                if got == ftype:
-                    return payload
+                if got in ftypes:
+                    return got, payload
                 self._handle(got, payload)
             if time.monotonic() > deadline:
+                names = "/".join(
+                    str(P.TYPE_NAMES.get(t, hex(t))) for t in ftypes
+                )
                 raise TimeoutError(
-                    f"no {P.TYPE_NAMES.get(ftype)} frame within "
-                    f"{self.timeout}s"
+                    f"no {names} frame within {self.timeout}s"
                 )
 
     def _require_sock(self) -> socket.socket:
@@ -186,6 +336,27 @@ class Detector:
         if not data:
             raise ConnectionError("server closed the connection")
         return self._decoder.feed(data)
+
+    def _send(self, ftype: int, body: bytes = b"") -> None:
+        """Send one frame, sealing it when the session is authenticated
+        (the daemon verifies the tag against its own received-frame
+        count, so both sides must count identically)."""
+        if self._authed and ftype in P.SEALED_TYPES:
+            body = P.seal(self.key, self._send_seq, ftype, body)
+            self._send_seq += 1
+        self._require_sock().sendall(P.pack_frame(ftype, body))
+
+    def rotate_key(self, new_key) -> None:
+        """Switch to a rotated shared key without disconnecting.  The
+        daemon must already accept ``new_key`` for this tenant; the
+        REKEY itself travels sealed under the *old* key, carrying a
+        proof of possession of the new one."""
+        if not self._authed:
+            self.key = new_key
+            return
+        proof = P.rekey_proof(new_key, self._nonce, self.tenant)
+        self._send(P.T_REKEY, P.dumps_canonical({"proof": proof}))
+        self.key = new_key
 
     def _drain_nonblocking(self) -> None:
         """Opportunistically consume races/acks without blocking."""
@@ -257,22 +428,50 @@ class Detector:
     def _flush_once(self) -> None:
         while self._sent < len(self._journal):
             batch = self._journal[self._sent : self._sent + self.batch_events]
-            payload = P.encode_events(batch)
-            self._require_sock().sendall(P.pack_frame(P.T_EVENTS, payload))
+            self._send(P.T_EVENTS, P.encode_events(batch))
             self._sent += len(batch)
             self._drain_nonblocking()
 
+    def _on_migrated(self, exc: P.ServerError) -> None:
+        """The session moved hosts: remember the handoff token and put
+        the named peer first in the failover order."""
+        self.migrations_seen += 1
+        token = exc.extra.get("token")
+        if token:
+            self._handoff = str(token)
+        peer = exc.extra.get("peer")
+        if peer:
+            addr = (str(peer[0]), int(peer[1]))
+            if addr in self.addresses:
+                self.addresses.remove(addr)
+            self.addresses.insert(0, addr)
+            if addr not in self.breakers:
+                self.breakers[addr] = CircuitBreaker(*self._breaker_args)
+
+    def _demote(self, addr: Tuple[str, int]) -> None:
+        """Move a host to the back of the failover order (it told us it
+        cannot serve this session right now)."""
+        if addr in self.addresses and len(self.addresses) > 1:
+            self.addresses.remove(addr)
+            self.addresses.append(addr)
+
     def _guarded(self, op: Callable[[], object]):
-        """Run a send/wait op; on a parked-session signal (shed or
-        dropped connection) reconnect-resume and retry."""
+        """Run a send/wait op; on a parked-session signal (shed,
+        dropped connection, drain, or migration) reconnect-resume —
+        possibly on a different host — and retry."""
         attempts = 0
         while True:
             try:
                 return op()
             except P.ServerError as exc:
-                if exc.code not in RECONNECTABLE:
+                if exc.code == P.E_MIGRATED:
+                    self._on_migrated(exc)
+                elif exc.code in FAILOVER:
+                    self._demote(self.address)
+                elif exc.code in RECONNECTABLE:
+                    self.sheds_seen += 1
+                else:
                     raise
-                self.sheds_seen += 1
             except (ConnectionError, socket.timeout, OSError):
                 pass
             attempts += 1
@@ -311,7 +510,7 @@ class Detector:
 
         def run():
             self._flush_once()
-            self._require_sock().sendall(P.pack_frame(P.T_FINISH))
+            self._send(P.T_FINISH)
             payload = self._wait_for(P.T_RESULT)
             self.result = P.loads_json(payload)
             return self.result
@@ -323,7 +522,7 @@ class Detector:
     def stats(self) -> dict:
         """The daemon's global stats snapshot (STATS_REQ round trip)."""
         def run():
-            self._require_sock().sendall(P.pack_frame(P.T_STATS_REQ))
+            self._send(P.T_STATS_REQ)
             return P.loads_json(self._wait_for(P.T_STATS))
 
         return self._guarded(run)
@@ -355,3 +554,51 @@ def server_stats(address: Tuple[str, int], timeout: float = 10.0) -> dict:
                 if ftype == P.T_STATS:
                     return P.loads_json(payload)
     raise TimeoutError(f"no STATS reply from {address}")
+
+
+def migrate_tenant(
+    address: Tuple[str, int],
+    tenant: str,
+    peer: Optional[Tuple[str, int]] = None,
+    key=None,
+    timeout: float = 30.0,
+) -> dict:
+    """Operator helper: ask the daemon at ``address`` to push ``tenant``
+    to ``peer`` (or its configured peer).  Returns the MIGRATE_ACK body;
+    raises :class:`~repro.server.protocol.ServerError` on refusal."""
+    body = {"tenant": str(tenant)}
+    if peer is not None:
+        peer = (str(peer[0]), int(peer[1]))
+        body["peer"] = [peer[0], peer[1]]
+    if key is not None:
+        target = peer
+        if target is None:
+            raise ValueError(
+                "an authenticated migrate request must name the peer "
+                "(the MAC binds tenant and destination)"
+            )
+        body["mac"] = P.export_mac(key, str(tenant), target)
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(
+            P.pack_frame(P.T_MIGRATE_EXPORT, P.dumps_canonical(body))
+        )
+        decoder = P.FrameDecoder()
+        deadline = time.monotonic() + timeout
+        sock.settimeout(timeout)
+        while time.monotonic() < deadline:
+            data = sock.recv(1 << 16)
+            if not data:
+                break
+            for ftype, payload in decoder.feed(data):
+                if ftype == P.T_MIGRATE_ACK:
+                    return P.loads_json(payload)
+                if ftype == P.T_ERROR:
+                    err = P.loads_json(payload)
+                    raise P.ServerError(
+                        str(err.get("code", P.E_INTERNAL)),
+                        str(err.get("message", "")),
+                        bool(err.get("fatal", True)),
+                        {k: v for k, v in err.items()
+                         if k not in ("code", "message", "fatal")},
+                    )
+    raise TimeoutError(f"no MIGRATE_ACK from {address}")

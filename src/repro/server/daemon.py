@@ -40,18 +40,37 @@ listener, quiesces every worker, rolls mid-chunk sessions back to their
 commit boundary, checkpoints every live tenant, and notifies attached
 clients with ``SHUTTING_DOWN``.  A restarted daemon adopts those
 checkpoints when the client reconnects with ``resume: true``.
+
+*Migration* (ALGORITHM.md §15) — a tenant can leave this host entirely:
+``MIGRATE_EXPORT`` (operator request, or every live tenant
+automatically when a drain runs with a configured ``peer``) quiesces
+the session at a commit boundary and ships its newest checkpoint,
+replay tail and race cursor to a peer daemon in one
+``MIGRATE_IMPORT`` frame.  The peer verifies the checkpoint image,
+adopts the session parked, and the source tells its client ``MIGRATED``
+with the peer address and a one-time handoff token; the client's
+journaled-suffix resend then lands on the new host and the stream
+resumes byte-identically.
+
+*Auth* — with per-tenant shared keys configured, HELLO is answered by a
+CHALLENGE and the client proves key possession (HMAC, constant-time
+compare) before a session exists; every subsequent client frame must
+carry a valid integrity tag (``E_TAMPER`` otherwise), and a session can
+rotate to a new accepted key mid-stream with REKEY.  Daemons without
+keys skip all of it.
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import secrets
 import shutil
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.recovery.session import DetectorKilled
 from repro.recovery.watchdog import shared_watchdog
@@ -93,6 +112,14 @@ class ServerConfig:
     dispatch_delay_us: float = 0.0  # bench knob: simulated heavy detector
     allow_kill_injection: bool = True  # honour HELLO kill_at (tests/bench)
     executor_threads: int = 8
+    #: Evacuation target: drain ships every live tenant here instead of
+    #: parking it in the local checkpoint directory.
+    peer: Optional[Tuple[str, int]] = None
+    #: tenant -> shared key (hex string) or list of accepted keys; the
+    #: ``"*"`` entry is the fleet-wide default.  None/empty = no auth.
+    auth_keys: Optional[Dict[str, object]] = None
+    migrate_timeout: float = 15.0  # per cross-host export round trip
+    max_migrate_frame: int = P.MIGRATE_MAX_FRAME
 
     def __post_init__(self):
         if self.low_watermark >= self.high_watermark:
@@ -102,6 +129,14 @@ class ServerConfig:
             )
         if self.chunk_events < 1:
             raise ValueError("chunk_events must be >= 1")
+        if self.peer is not None:
+            self.peer = (str(self.peer[0]), int(self.peer[1]))
+
+
+def _set_event() -> asyncio.Event:
+    ev = asyncio.Event()
+    ev.set()
+    return ev
 
 
 @dataclass
@@ -113,6 +148,12 @@ class _Tenant:
     conn: Optional["_Conn"] = None
     queue: Deque[Union[object, tuple]] = field(default_factory=deque)
     waiter: asyncio.Event = field(default_factory=asyncio.Event)
+    #: Set while the worker sits at a commit boundary with an empty
+    #: queue; cleared while an ingest item is being dispatched.  A
+    #: reattach WELCOME must wait for this (see _admit): its cursor is
+    #: where the client resumes the resend, and a cursor that predates
+    #: in-flight work would make the resent suffix overlap the commit.
+    quiet: asyncio.Event = field(default_factory=_set_event)
     pending_bytes: int = 0
     max_pending_bytes: int = 0
     paused: bool = False
@@ -120,6 +161,10 @@ class _Tenant:
     detach_handle: Optional[asyncio.TimerHandle] = None
     dirty: bool = False  # a dispatch slice is in flight (not committed)
     gone: bool = False
+    migrating: bool = False  # an export is in flight; refuse concurrent ops
+    #: One-time token a migrated-in session requires at reattach; the
+    #: source daemon hands it to the displaced client in MIGRATED.
+    handoff: Optional[str] = None
 
 
 class _Conn(asyncio.Protocol):
@@ -128,11 +173,19 @@ class _Conn(asyncio.Protocol):
     def __init__(self, server: "RaceServer"):
         self.server = server
         self.transport = None
-        self.decoder = P.FrameDecoder(server.config.max_frame)
+        self.decoder = P.FrameDecoder(
+            server.config.max_frame,
+            max_large_frame=server.config.max_migrate_frame,
+        )
         self.tenant: Optional[str] = None
         self.handshake_handle: Optional[asyncio.TimerHandle] = None
         self.idle_handle: Optional[asyncio.TimerHandle] = None
         self.closed = False
+        # -- auth state (ALGORITHM.md §15) -----------------------------
+        self.pending_hello: Optional[dict] = None  # parked while challenged
+        self.nonce: Optional[bytes] = None
+        self.auth_key: Optional[bytes] = None  # set => frames sealed
+        self.recv_seq = 0
 
     # -- asyncio.Protocol ----------------------------------------------
     def connection_made(self, transport) -> None:
@@ -201,6 +254,14 @@ class RaceServer:
             "races_total": 0,
             "max_queue_bytes": 0,
             "drained_tenants": 0,
+            "auth_challenges": 0,
+            "auth_failures": 0,
+            "tamper_rejects": 0,
+            "rekeys": 0,
+            "migrations_out": 0,
+            "migrations_in": 0,
+            "migrate_failures": 0,
+            "evacuations": 0,
         }
 
     # ------------------------------------------------------------------
@@ -215,13 +276,27 @@ class RaceServer:
         os.makedirs(self.config.checkpoint_root, exist_ok=True)
 
     async def shutdown(self) -> None:
-        """Drain: stop accepting, quiesce workers, checkpoint every live
-        tenant at a commit boundary, notify attached clients."""
+        """Drain: stop accepting, quiesce workers, then either evacuate
+        every live tenant to the configured peer (``MIGRATED`` tells the
+        client where to go) or checkpoint it locally at a commit
+        boundary and notify with ``SHUTTING_DOWN``."""
         self._draining = True
         if self._listener is not None:
             self._listener.close()
             await self._listener.wait_closed()
         for name, st in list(self._tenants.items()):
+            if (
+                self.config.peer is not None
+                and not st.session.finished
+                and not st.migrating
+            ):
+                ok, _detail = await self._migrate_tenant(
+                    name, st, self.config.peer, evacuating=True
+                )
+                if ok:
+                    self.stats["evacuations"] += 1
+                    continue
+                # Export failed: fall back to the local-park drain path.
             await self._quiesce(st)
             if not st.session.finished:
                 try:
@@ -346,6 +421,17 @@ class RaceServer:
         if st is None or st.conn is not None:
             return
         await self._quiesce(st)
+        if st.conn is not None or st.gone or st.migrating:
+            # A client reattached (or a drain/migration took over) while
+            # the worker was being quiesced.  The session is live again:
+            # put the worker back — its cancellation above would
+            # otherwise strand the reattached client with an undrained
+            # queue and no acks — and leave the state alone.
+            if st.conn is not None and not st.gone and (
+                st.worker is None or st.worker.done()
+            ):
+                st.worker = self._loop.create_task(self._worker(tenant, st))
+            return
         try:
             if st.dirty:
                 st.session.resume()
@@ -362,6 +448,7 @@ class RaceServer:
             st.detach_handle.cancel()
         if st.shed_handle is not None:
             st.shed_handle.cancel()
+        st.quiet.set()  # release any reattach waiting on the boundary
         self._tenants.pop(tenant, None)
 
     # ------------------------------------------------------------------
@@ -384,6 +471,36 @@ class RaceServer:
 
     def _on_frame(self, conn: _Conn, ftype: int, payload: bytes) -> None:
         self.stats["frames"] += 1
+        if conn.tenant is None and ftype in (
+            P.T_MIGRATE_EXPORT,
+            P.T_MIGRATE_IMPORT,
+        ):
+            # Operator / daemon-to-daemon ops: sessionless, no HELLO.
+            if conn.handshake_handle is not None:
+                conn.handshake_handle.cancel()
+            if ftype == P.T_MIGRATE_EXPORT:
+                self._on_migrate_export(conn, payload)
+            else:
+                self._on_migrate_import(conn, payload)
+            return
+        if conn.pending_hello is not None:
+            if ftype != P.T_AUTH:
+                raise P.ProtocolError(
+                    P.E_AUTH,
+                    f"expected AUTH after CHALLENGE, got "
+                    f"{P.TYPE_NAMES.get(ftype, hex(ftype))}",
+                )
+            self._on_auth(conn, payload)
+            return
+        if conn.auth_key is not None and ftype in P.SEALED_TYPES:
+            try:
+                payload = P.unseal(
+                    conn.auth_key, conn.recv_seq, ftype, payload
+                )
+            except P.ProtocolError:
+                self.stats["tamper_rejects"] += 1
+                raise
+            conn.recv_seq += 1
         if ftype == P.T_STATS_REQ:
             conn.send(P.pack_frame(P.T_STATS, P.dumps_canonical(self.snapshot_stats())))
             return
@@ -397,6 +514,9 @@ class RaceServer:
             return
         if ftype == P.T_HELLO:
             raise P.ProtocolError(P.E_BAD_HELLO, "duplicate HELLO")
+        if ftype == P.T_REKEY:
+            self._on_rekey(conn, payload)
+            return
         st = self._tenants.get(conn.tenant)
         if st is None or st.conn is not conn:
             return  # session already gone; ignore the straggler
@@ -413,6 +533,78 @@ class RaceServer:
                 "from a client",
             )
 
+    # -- auth -----------------------------------------------------------
+    def _keys_for(self, tenant: str) -> List[bytes]:
+        """Accepted keys for a tenant: its own entry, or the ``"*"``
+        fleet-wide default when it has none — a dedicated key *replaces*
+        the fleet key rather than adding to it, so the fleet key cannot
+        open a specially-keyed tenant.  Either form may be a single key
+        or a rotation list.  Empty list = unauthenticated."""
+        conf = self.config.auth_keys
+        if not conf:
+            return []
+        entry = conf.get(tenant)
+        if entry is None:
+            entry = conf.get("*")
+        if entry is None:
+            return []
+        if isinstance(entry, (list, tuple)):
+            return [P.as_key(k) for k in entry]
+        return [P.as_key(entry)]
+
+    def add_key(self, tenant: str, key) -> None:
+        """Accept an additional key for ``tenant`` — the rotation flow:
+        the operator adds the new key fleet-wide, live sessions REKEY to
+        it without disconnecting, then the old key is removed."""
+        if self.config.auth_keys is None:
+            self.config.auth_keys = {}
+        conf = self.config.auth_keys
+        entry = conf.get(tenant)
+        if entry is None:
+            conf[tenant] = [key]
+        elif isinstance(entry, list):
+            entry.append(key)
+        else:
+            conf[tenant] = [entry, key]
+
+    def _on_auth(self, conn: _Conn, payload: bytes) -> None:
+        options, conn.pending_hello = conn.pending_hello, None
+        tenant = str(options["tenant"])
+        body = P.loads_json(payload)
+        mac = str(body.get("mac", ""))
+        for key in self._keys_for(tenant):
+            if P.macs_equal(mac, P.hello_mac(key, conn.nonce, tenant)):
+                conn.auth_key = key
+                break
+        else:
+            self.stats["auth_failures"] += 1
+            raise P.ProtocolError(
+                P.E_AUTH, f"bad authentication response for {tenant!r}"
+            )
+        self._admit(conn, options)
+
+    def _on_rekey(self, conn: _Conn, payload: bytes) -> None:
+        """Rotate the session key mid-stream: the (old-key-sealed) REKEY
+        proves possession of another accepted key, bound to this
+        connection's nonce; subsequent frames seal under the new key."""
+        if conn.auth_key is None:
+            raise P.ProtocolError(
+                P.E_BAD_FRAME, "REKEY on an unauthenticated connection"
+            )
+        body = P.loads_json(payload)
+        proof = str(body.get("proof", ""))
+        for key in self._keys_for(conn.tenant):
+            if P.macs_equal(
+                proof, P.rekey_proof(key, conn.nonce, conn.tenant)
+            ):
+                conn.auth_key = key
+                self.stats["rekeys"] += 1
+                return
+        self.stats["auth_failures"] += 1
+        raise P.ProtocolError(
+            P.E_AUTH, "rekey proof matches no accepted key"
+        )
+
     # -- HELLO ----------------------------------------------------------
     def _on_hello(self, conn: _Conn, payload: bytes) -> None:
         options = P.decode_hello(payload)
@@ -427,19 +619,63 @@ class RaceServer:
             )
             conn.close()
             return
+        if self._keys_for(tenant) and conn.auth_key is None:
+            # Authenticated tenant: prove key possession before any
+            # session state exists.
+            conn.pending_hello = options
+            conn.nonce = secrets.token_bytes(P.NONCE_BYTES)
+            self.stats["auth_challenges"] += 1
+            conn.send(
+                P.pack_frame(
+                    P.T_CHALLENGE,
+                    P.dumps_canonical({"nonce": conn.nonce.hex()}),
+                )
+            )
+            return
+        self._admit(conn, options)
+
+    def _admit(self, conn: _Conn, options: dict) -> None:
+        tenant = str(options["tenant"])
         st = self._tenants.get(tenant)
         if st is not None:
-            if st.conn is not None:
+            if st.conn is not None or st.migrating:
                 raise P.ProtocolError(
                     P.E_TENANT_BUSY,
                     f"tenant {tenant!r} already has a live connection",
                 )
+            if st.handoff is not None:
+                # Migrated-in session: only the displaced client may
+                # claim it — by the token MIGRATED handed it, or (a
+                # client that lost the connection before MIGRATED could
+                # be delivered) by proving the tenant key, which is a
+                # strictly stronger credential than the token.
+                supplied = str(options.get("handoff") or "")
+                if conn.auth_key is None and not P.macs_equal(
+                    supplied, st.handoff
+                ):
+                    self.stats["auth_failures"] += 1
+                    raise P.ProtocolError(
+                        P.E_AUTH,
+                        f"bad or missing handoff token for {tenant!r}",
+                    )
+                st.handoff = None  # one-time
             # Reconnect to a parked session.
             if st.detach_handle is not None:
                 st.detach_handle.cancel()
                 st.detach_handle = None
             st.conn = conn
             conn.tenant = tenant
+            if st.queue or st.dirty or not st.quiet.is_set():
+                # The worker still holds items the previous attachment
+                # delivered.  The WELCOME cursor is where the client
+                # resumes its resend, so it must wait for the commit
+                # boundary: a cursor that predates in-flight work would
+                # make the resent suffix overlap what is about to
+                # commit — the overlap dispatched twice, the cursor
+                # inflated past the journal, and a later window of the
+                # stream silently skipped.
+                self._loop.create_task(self._finish_reattach(conn, st))
+                return
             st.session.reattach()
             self.stats["reconnects"] += 1
             self._welcome(conn, st, "reattached")
@@ -450,9 +686,44 @@ class RaceServer:
         st.conn = conn
         conn.tenant = tenant
         self._tenants[tenant] = st
-        st.worker = self._loop.create_task(self._worker(tenant, st))
+        return self._admit_new(conn, st)
+
+    async def _finish_reattach(self, conn: _Conn, st: _Tenant) -> None:
+        """Complete a reattach once the worker drains the previous
+        attachment's pending items (see _admit).  The client is blocked
+        waiting for WELCOME, so nothing new is enqueued meanwhile; acks
+        and races the worker streams while catching up go to the
+        already-claimed connection and are consumed pre-WELCOME."""
+        while True:
+            await st.quiet.wait()
+            if not st.queue:
+                break
+            # The worker is about to pop the next item and clear the
+            # flag again; yield until the boundary is real.
+            await asyncio.sleep(0)
+        if conn.closed or st.conn is not conn:
+            return
+        if st.gone:
+            # The session retired while we waited (drained, finished,
+            # or failed); send a steering error so the client retries
+            # and takes the fresh-session or failover path.
+            code = P.E_SHUTTING_DOWN if self._draining else P.E_OVERLOADED
+            conn.send(
+                P.error_frame(code, "session retired during reattach", True)
+            )
+            conn.close()
+            return
+        st.session.reattach()
+        self.stats["reconnects"] += 1
+        self._welcome(conn, st, "reattached")
+        self._flush_races(st)
+
+    def _admit_new(self, conn: _Conn, st: _Tenant) -> None:
+        st.worker = self._loop.create_task(
+            self._worker(st.session.tenant, st)
+        )
         self.stats["sessions_started"] += 1
-        kind = "adopted" if session.events_done else "new"
+        kind = "adopted" if st.session.events_done else "new"
         if kind == "adopted":
             self.stats["sessions_adopted"] += 1
         self._welcome(conn, st, kind)
@@ -562,6 +833,252 @@ class RaceServer:
         )
 
     # ------------------------------------------------------------------
+    # cross-host migration (ALGORITHM.md §15)
+    # ------------------------------------------------------------------
+    def _on_migrate_export(self, conn: _Conn, payload: bytes) -> None:
+        """Operator request: push one live tenant to a peer daemon."""
+        body = P.loads_json(payload)
+        tenant = str(body.get("tenant", ""))
+        peer = body.get("peer") or self.config.peer
+        if not peer:
+            conn.send(
+                P.error_frame(
+                    P.E_MIGRATE_FAILED,
+                    "no peer given and none configured",
+                    True,
+                )
+            )
+            conn.close()
+            return
+        peer = (str(peer[0]), int(peer[1]))
+        keys = self._keys_for(tenant)
+        if keys:
+            mac = str(body.get("mac", ""))
+            if not any(
+                P.macs_equal(mac, P.export_mac(k, tenant, peer))
+                for k in keys
+            ):
+                self.stats["auth_failures"] += 1
+                raise P.ProtocolError(
+                    P.E_AUTH, f"migrate export of {tenant!r} not authorized"
+                )
+        st = self._tenants.get(tenant)
+        if st is None:
+            conn.send(
+                P.error_frame(
+                    P.E_NO_SUCH_TENANT, f"no live tenant {tenant!r}", True
+                )
+            )
+            conn.close()
+            return
+        if st.migrating or st.session.finished:
+            conn.send(
+                P.error_frame(
+                    P.E_MIGRATE_FAILED,
+                    f"tenant {tenant!r} is finishing or already migrating",
+                    True,
+                )
+            )
+            conn.close()
+            return
+        self._loop.create_task(
+            self._migrate_and_report(conn, tenant, st, peer)
+        )
+
+    async def _migrate_and_report(
+        self, conn: _Conn, tenant: str, st: _Tenant, peer: Tuple[str, int]
+    ) -> None:
+        ok, detail = await self._migrate_tenant(tenant, st, peer)
+        if ok:
+            conn.send(
+                P.pack_frame(P.T_MIGRATE_ACK, P.dumps_canonical(detail))
+            )
+        else:
+            conn.send(P.error_frame(P.E_MIGRATE_FAILED, str(detail), True))
+        conn.close()
+
+    async def _migrate_tenant(
+        self,
+        tenant: str,
+        st: _Tenant,
+        peer: Tuple[str, int],
+        evacuating: bool = False,
+    ):
+        """Quiesce at a commit boundary, ship checkpoint + tail + race
+        cursor to ``peer``, await its MIGRATE_ACK, then displace the
+        attached client (MIGRATED + peer address + handoff token) and
+        forget the tenant.  On any failure the session stays here: the
+        worker restarts (unless we are draining anyway) and the source
+        remains authoritative — the tenant only ever exists on one host.
+        Returns ``(ok, ack_or_reason)``."""
+        st.migrating = True
+        try:
+            await self._quiesce(st)
+            session = st.session
+            if session.finished:
+                return False, "session already finished"
+            if st.dirty:
+                # Mid-chunk when cancelled: roll back to the committed
+                # boundary so the export is exactly the committed state.
+                await self._loop.run_in_executor(self._pool, session.resume)
+                st.dirty = False
+            header, ckpt_blob, tail = await self._loop.run_in_executor(
+                self._pool, session.export_state
+            )
+            # A handoff token only matters if there is a displaced
+            # client to give it to; unattended sessions rely on the
+            # shared key (if any) at reattach time.
+            token = secrets.token_hex(16) if st.conn is not None else ""
+            header["token"] = token
+            keys = self._keys_for(tenant)
+            if keys:
+                header["mac"] = P.import_mac(
+                    keys[0], tenant, token, ckpt_blob
+                )
+            payload = P.encode_migrate_import(header, ckpt_blob, tail)
+            try:
+                ack = await asyncio.wait_for(
+                    self._ship_import(peer, payload),
+                    self.config.migrate_timeout,
+                )
+            except Exception as exc:  # noqa: BLE001 - source keeps tenant
+                self.stats["migrate_failures"] += 1
+                if not evacuating and not st.gone:
+                    st.worker = self._loop.create_task(
+                        self._worker(tenant, st)
+                    )
+                return False, f"{type(exc).__name__}: {exc}"
+            self.stats["migrations_out"] += 1
+            if st.conn is not None:
+                st.conn.send(
+                    P.error_frame(
+                        P.E_MIGRATED,
+                        f"tenant {tenant!r} migrated to "
+                        f"{peer[0]}:{peer[1]}",
+                        True,
+                        peer=[peer[0], peer[1]],
+                        token=token,
+                    )
+                )
+                st.conn.close()
+            self._drop_tenant(tenant, st)
+            return True, ack
+        finally:
+            st.migrating = False
+
+    async def _ship_import(
+        self, peer: Tuple[str, int], payload: bytes
+    ) -> dict:
+        reader, writer = await asyncio.open_connection(peer[0], peer[1])
+        try:
+            writer.write(P.pack_frame(P.T_MIGRATE_IMPORT, payload))
+            await writer.drain()
+            decoder = P.FrameDecoder(self.config.max_frame)
+            while True:
+                data = await reader.read(1 << 16)
+                if not data:
+                    raise ConnectionError(
+                        "peer closed before acknowledging the import"
+                    )
+                for ftype, body in decoder.feed(data):
+                    if ftype == P.T_MIGRATE_ACK:
+                        return P.loads_json(body)
+                    if ftype == P.T_ERROR:
+                        err = P.loads_json(body)
+                        raise ConnectionError(
+                            f"peer refused import: {err.get('code')}: "
+                            f"{err.get('message')}"
+                        )
+        finally:
+            writer.close()
+
+    def _on_migrate_import(self, conn: _Conn, payload: bytes) -> None:
+        """Adopt a session another daemon exported: verify, land the
+        checkpoint image, restore, park for the displaced client."""
+        header, ckpt_blob, tail = P.decode_migrate_import(payload)
+        tenant = str(header["tenant"])
+        if not TENANT_RE.match(tenant):
+            raise P.ProtocolError(
+                P.E_BAD_PAYLOAD, f"invalid tenant id {tenant!r}"
+            )
+        token = str(header.get("token") or "")
+        keys = self._keys_for(tenant)
+        if keys:
+            mac = str(header.get("mac", ""))
+            if not any(
+                P.macs_equal(mac, P.import_mac(k, tenant, token, ckpt_blob))
+                for k in keys
+            ):
+                self.stats["auth_failures"] += 1
+                raise P.ProtocolError(
+                    P.E_AUTH, f"migrate import of {tenant!r} not authorized"
+                )
+        if self._draining:
+            conn.send(
+                P.error_frame(P.E_SHUTTING_DOWN, "server draining", True)
+            )
+            conn.close()
+            return
+        if tenant in self._tenants:
+            conn.send(
+                P.error_frame(
+                    P.E_TENANT_BUSY,
+                    f"tenant {tenant!r} is already live on this host",
+                    True,
+                )
+            )
+            conn.close()
+            return
+        cfg = self.config
+        ckpt_dir = os.path.join(cfg.checkpoint_root, tenant)
+        # The imported image is the authoritative state; a stale local
+        # directory from a previous incarnation must not shadow it.
+        shutil.rmtree(ckpt_dir, ignore_errors=True)
+        try:
+            session = TenantSession(
+                tenant,
+                str(header["detector"]),
+                checkpoint_dir=ckpt_dir,
+                checkpoint_every=int(
+                    header.get("checkpoint_every", cfg.checkpoint_every)
+                ),
+                shadow_budget=header.get("shadow_budget"),
+                keep_checkpoints=cfg.keep_checkpoints,
+                detector_factory=self.detector_factory,
+            )
+            session.adopt_import(header, ckpt_blob, tail)
+        except Exception as exc:  # noqa: BLE001 - refuse, keep serving
+            self.stats["migrate_failures"] += 1
+            conn.send(P.error_frame(P.E_MIGRATE_FAILED, str(exc), True))
+            conn.close()
+            return
+        st = _Tenant(session=session)
+        st.handoff = token or None
+        self._tenants[tenant] = st
+        st.worker = self._loop.create_task(self._worker(tenant, st))
+        self.stats["migrations_in"] += 1
+        self.stats["sessions_started"] += 1
+        self.stats["sessions_adopted"] += 1
+        # Parked: the displaced client has detach_ttl to show up.
+        st.detach_handle = self._loop.call_later(
+            cfg.detach_ttl,
+            lambda: asyncio.ensure_future(self._finalize_detached(tenant)),
+        )
+        conn.send(
+            P.pack_frame(
+                P.T_MIGRATE_ACK,
+                P.dumps_canonical(
+                    {
+                        "tenant": tenant,
+                        "events_done": session.events_done,
+                        "races_sent": session.races_sent,
+                    }
+                ),
+            )
+        )
+        conn.close()
+
+    # ------------------------------------------------------------------
     # ingest queue + backpressure
     # ------------------------------------------------------------------
     def _enqueue(self, st: _Tenant, item, nbytes: int) -> None:
@@ -639,8 +1156,10 @@ class RaceServer:
         try:
             while True:
                 while not st.queue:
+                    st.quiet.set()
                     st.waiter.clear()
                     await st.waiter.wait()
+                st.quiet.clear()
                 item, nbytes = st.queue.popleft()
                 if item is _FINISH:
                     result = session.finish()
@@ -681,9 +1200,18 @@ class RaceServer:
                 st.conn.close()
             self._drop_tenant(tenant, st)
         except Exception as exc:  # noqa: BLE001 - never kill the daemon
-            self.stats["recovery_failures"] += 1
+            if self._draining:
+                # A hard-killed or draining daemon tears the executor
+                # out from under in-flight workers; that is the injected
+                # crash, not a recovery failure of this tenant — and the
+                # client must fail over, not abort.  INTERNAL is fatal
+                # client-side; SHUTTING_DOWN steers it to a peer.
+                code = P.E_SHUTTING_DOWN
+            else:
+                self.stats["recovery_failures"] += 1
+                code = P.E_INTERNAL
             if st.conn is not None:
-                st.conn.send(P.error_frame(P.E_INTERNAL, str(exc), True))
+                st.conn.send(P.error_frame(code, str(exc), True))
                 st.conn.close()
             self._drop_tenant(tenant, st)
 
@@ -875,6 +1403,33 @@ class ServerThread:
                 self.drain()
             except Exception:  # noqa: BLE001 - stop must succeed
                 pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    def kill(self) -> None:
+        """Hard-kill: abort every connection and stop with no drain and
+        no checkpointing beyond what already hit disk — the host crash
+        the soak harness injects.  Clients see a reset, fail over or
+        reconnect-resume, and their journal resend covers whatever the
+        lost incarnation had not committed."""
+
+        async def _abort():
+            srv = self.server
+            srv._draining = True
+            if srv._listener is not None:
+                srv._listener.close()
+            for st in list(srv._tenants.values()):
+                if st.conn is not None and st.conn.transport is not None:
+                    try:
+                        st.conn.transport.abort()
+                    except Exception:  # noqa: BLE001
+                        pass
+            srv._pool.shutdown(wait=False, cancel_futures=True)
+
+        try:
+            self.call(_abort)
+        except Exception:  # noqa: BLE001 - kill must succeed
+            pass
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=10)
 

@@ -1,0 +1,232 @@
+"""SLO history + regression gate for the server soak bench.
+
+The shape mirrors the detector-bench trend gate
+(:mod:`repro.perf.bench` ``--check-history``): every soak/loadgen run
+appends one compact JSONL line to ``BENCH_server_history.jsonl`` —
+schema tag, git revision, config, ingest-latency percentiles,
+throughput, and the recovery counters — and ``check_server_slo``
+compares a new line against the *best* comparable prior line:
+
+* **latency**: p99 and p99.9 ingest latency may exceed the best prior
+  value by at most ``latency_threshold`` (fraction); above that the
+  run fails.
+* **recovery counters**: ``recovery_failures`` (sessions the daemon
+  gave up on) must not exceed the best (lowest) prior value — a soak
+  that used to recover every tenant and now loses one is a regression
+  no latency number excuses.
+
+Two lines are comparable only when they ran the same campaign: same
+tenant count, workload, scale, seed, detector, batch size, soak
+duration and quick flag.  Prior lines that recorded divergences are
+never used as a baseline.  No comparable history = vacuous pass; the
+appended line becomes the baseline for the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Sequence
+
+from repro.perf.bench import _git_rev, load_history
+
+SERVER_HISTORY_SCHEMA = "repro-race-server-history/v1"
+
+DEFAULT_SERVER_HISTORY = "BENCH_server_history.jsonl"
+
+#: Allowed fractional growth of p99/p99.9 ingest latency vs the best
+#: comparable prior run.  Latency under fault injection is noisier than
+#: pure throughput, hence looser than the bench gate's 0.2.
+SLO_LATENCY_THRESHOLD = 0.5
+
+#: Latency percentiles the gate watches (keys of ``latency_ms``).
+_GATE_LATENCIES = ("p99", "p999")
+
+#: Counters that must never exceed the best prior value.
+_GATE_COUNTERS = ("recovery_failures",)
+
+#: Config keys that must match for two lines to be comparable.
+_GATE_CONFIG_KEYS = (
+    "mode",
+    "tenants",
+    "workload",
+    "scale",
+    "seed",
+    "detector",
+    "batch_events",
+    "soak_s",
+)
+
+
+def server_history_line(body: Dict[str, object]) -> Dict[str, object]:
+    """Compact one-line summary of a loadgen/soak bench body."""
+    config = dict(body.get("config", {}))
+    latency = dict(body.get("latency_ms", {}))
+    server = dict(body.get("server", {}))
+    soak = dict(body.get("soak", {}) or {})
+    return {
+        "schema": SERVER_HISTORY_SCHEMA,
+        "git_rev": _git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": {
+            "mode": "soak" if soak else "campaign",
+            "tenants": config.get("tenants"),
+            "workload": config.get("workload"),
+            "scale": config.get("scale"),
+            "seed": config.get("seed"),
+            "detector": config.get("detector"),
+            "batch_events": config.get("batch_events"),
+            "soak_s": soak.get("seconds"),
+            "quick": bool(config.get("quick")),
+        },
+        "latency_ms": {
+            k: latency.get(k) for k in ("p50", "p99", "p999", "samples")
+        },
+        "throughput_eps": body.get("throughput_eps"),
+        "divergences": body.get("recovery_divergences", 0),
+        "counters": {
+            "recovery_failures": server.get("recovery_failures", 0),
+            "sheds": server.get("sheds", 0),
+            "resumes": server.get("resumes", 0),
+            "migrations_out": server.get("migrations_out", 0),
+            "migrations_in": server.get("migrations_in", 0),
+            "evacuations": server.get("evacuations", 0),
+            "tamper_rejects": server.get("tamper_rejects", 0),
+            "cycles": soak.get("cycles"),
+            "daemon_kills": soak.get("chaos", {}).get("kill-daemon"),
+        },
+    }
+
+
+def append_server_history(
+    body: Dict[str, object], path: str = DEFAULT_SERVER_HISTORY
+) -> Dict[str, object]:
+    """Append :func:`server_history_line` to the JSONL log at ``path``."""
+    line = server_history_line(body)
+    with open(path, "a") as fh:
+        json.dump(line, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return line
+
+
+def load_server_history(
+    path: str = DEFAULT_SERVER_HISTORY,
+) -> List[Dict[str, object]]:
+    return load_history(
+        path, schema=SERVER_HISTORY_SCHEMA, list_field=None
+    )
+
+
+def _slo_key(line: Dict[str, object]) -> tuple:
+    config = line.get("config", {})
+    return tuple(
+        json.dumps(config.get(k), sort_keys=True)
+        for k in _GATE_CONFIG_KEYS
+    )
+
+
+def comparable_server_runs(
+    line: Dict[str, object], history: Sequence[Dict[str, object]]
+) -> int:
+    key = _slo_key(line)
+    return sum(
+        1
+        for prior in history
+        if prior is not line
+        and _slo_key(prior) == key
+        and not prior.get("divergences")
+    )
+
+
+def check_server_slo(
+    line: Dict[str, object],
+    history: Sequence[Dict[str, object]],
+    latency_threshold: float = SLO_LATENCY_THRESHOLD,
+) -> List[Dict[str, object]]:
+    """Regressions of ``line`` vs the best comparable prior line."""
+    key = _slo_key(line)
+    best_latency: Dict[str, float] = {}
+    best_counter: Dict[str, float] = {}
+    for prior in history:
+        if prior is line or _slo_key(prior) != key:
+            continue
+        if prior.get("divergences"):
+            continue
+        for metric in _GATE_LATENCIES:
+            value = prior.get("latency_ms", {}).get(metric)
+            if isinstance(value, (int, float)) and value > 0:
+                if metric not in best_latency or value < best_latency[metric]:
+                    best_latency[metric] = float(value)
+        for counter in _GATE_COUNTERS:
+            value = prior.get("counters", {}).get(counter)
+            if isinstance(value, (int, float)):
+                if counter not in best_counter or value < best_counter[counter]:
+                    best_counter[counter] = float(value)
+    regressions: List[Dict[str, object]] = []
+    for metric in _GATE_LATENCIES:
+        prior_best = best_latency.get(metric)
+        if prior_best is None:
+            continue
+        current = line.get("latency_ms", {}).get(metric)
+        if not isinstance(current, (int, float)):
+            continue
+        ceiling = prior_best * (1.0 + latency_threshold)
+        if current > ceiling:
+            regressions.append(
+                {
+                    "kind": "latency",
+                    "metric": metric,
+                    "current": float(current),
+                    "best": prior_best,
+                    "ceiling": ceiling,
+                    "growth_pct": 100.0 * (current / prior_best - 1.0),
+                }
+            )
+    for counter in _GATE_COUNTERS:
+        prior_best = best_counter.get(counter)
+        if prior_best is None:
+            continue
+        current = line.get("counters", {}).get(counter)
+        if not isinstance(current, (int, float)):
+            continue
+        if current > prior_best:
+            regressions.append(
+                {
+                    "kind": "counter",
+                    "metric": counter,
+                    "current": float(current),
+                    "best": prior_best,
+                    "ceiling": prior_best,
+                    "growth_pct": None,
+                }
+            )
+    return regressions
+
+
+def format_server_slo(
+    regressions: Sequence[Dict[str, object]], compared: int
+) -> str:
+    """Console report for the server SLO gate."""
+    if not compared:
+        return "server SLO gate: no comparable history — baseline recorded"
+    if not regressions:
+        return (
+            f"server SLO gate: ok vs best of {compared} comparable run(s)"
+        )
+    lines = [
+        f"server SLO gate: {len(regressions)} REGRESSION(S) vs best of "
+        f"{compared} comparable run(s)"
+    ]
+    for reg in regressions:
+        if reg["kind"] == "latency":
+            lines.append(
+                f"  latency {reg['metric']}: {reg['current']:.3f}ms vs "
+                f"best {reg['best']:.3f}ms "
+                f"(+{reg['growth_pct']:.1f}%, ceiling {reg['ceiling']:.3f}ms)"
+            )
+        else:
+            lines.append(
+                f"  counter {reg['metric']}: {reg['current']:.0f} vs "
+                f"best {reg['best']:.0f}"
+            )
+    return "\n".join(lines)

@@ -42,6 +42,7 @@ from repro.detectors.guards import GuardedDetector
 from repro.recovery.checkpoint import (
     CheckpointError,
     read_checkpoint,
+    read_checkpoint_bytes,
     validate_manifest,
     write_checkpoint,
 )
@@ -117,6 +118,8 @@ class TenantSession:
             "retries": 0,
             "bad_checkpoints": 0,
             "reconnects": 0,
+            "migrations": 0,
+            "checkpoints_gced": 0,
             "shadow_budget": shadow_budget,
         }
 
@@ -235,13 +238,30 @@ class TenantSession:
             shards=1,
         )
         self.recovery["checkpoints_written"] += 1
+        self.gc_checkpoints()
+        self._trim_tail()
+
+    def gc_checkpoints(self) -> int:
+        """Keep only the newest ``keep_checkpoints`` generations.
+
+        Long streaming sessions would otherwise accumulate one file per
+        checkpoint mark forever.  Each deletion is a single ``unlink``
+        (atomic — a crash mid-GC leaves extra generations, never a
+        half-deleted one), oldest first, so the retained window is
+        always the newest suffix and generation fallback keeps working.
+        Returns the number of files removed.
+        """
         found = self.checkpoints()
+        removed = 0
         for path in found[: -self.keep_checkpoints]:
             try:
                 os.unlink(path)
+                removed += 1
             except OSError:
-                pass
-        self._trim_tail()
+                # Still listed next time; GC retries on the next mark.
+                continue
+        self.recovery["checkpoints_gced"] += removed
+        return removed
 
     def _trim_tail(self) -> None:
         """Drop tail events older than the oldest retained checkpoint —
@@ -330,6 +350,107 @@ class TenantSession:
             self.recovery["resumes"] += 1
             self.recovery["last_resume_event"] = cursor
             return cursor
+
+    # ------------------------------------------------------------------
+    # cross-host migration (ALGORITHM.md §15)
+    # ------------------------------------------------------------------
+    def export_state(self) -> tuple:
+        """Package this session for shipment to a peer daemon.
+
+        Must be called at a commit boundary (the daemon quiesces and
+        rolls back any dirty dispatch first).  Returns ``(header,
+        ckpt_blob, tail_rows)``: the wire header (cursors + recovery
+        counters), the newest checkpoint's exact file bytes, and the
+        retained replay tail.  The checkpoint is written fresh at the
+        current cursor, so the blob *is* the committed state and the
+        importing host restores it byte-for-byte — the same file-level
+        identity the single-host recovery contract rests on.
+        """
+        if self.finished:
+            raise ValueError(f"tenant {self.tenant} already finished")
+        self.checkpoint_now()
+        path = self._checkpoint_path(self.events_done)
+        with open(path, "rb") as fh:
+            ckpt_blob = fh.read()
+        header = {
+            "tenant": self.tenant,
+            "detector": self.detector_name,
+            "events_done": self.events_done,
+            "races_sent": self.races_sent,
+            "tail_base": self._tail_base,
+            "checkpoint_every": self.checkpoint_every,
+            "shadow_budget": self.shadow_budget,
+            "recovery": dict(self.recovery),
+        }
+        return header, ckpt_blob, list(self._tail)
+
+    def adopt_import(self, header: dict, ckpt_blob: bytes, tail_rows) -> None:
+        """Become the session a peer daemon exported.
+
+        Verifies the shipped checkpoint image (checksum + manifest
+        identity) *before* touching disk, lands it as this session's
+        newest generation, restores through :meth:`resume`'s machinery
+        (same validation path as a local kill-and-resume), then carries
+        the exported race cursor and recovery counters over so the
+        client-visible stream and the final RESULT body are
+        byte-identical to a session that never moved hosts.
+        """
+        cursor = int(header["events_done"])
+        tail_base = int(header["tail_base"])
+        if cursor < 0 or tail_base < 0 or tail_base > cursor:
+            raise ValueError(
+                f"inconsistent migrate cursors: events_done={cursor} "
+                f"tail_base={tail_base}"
+            )
+        if tail_base + len(tail_rows) < cursor:
+            raise ValueError(
+                f"replay tail ends at {tail_base + len(tail_rows)}, "
+                f"before the exported cursor {cursor}"
+            )
+        manifest, _state = read_checkpoint_bytes(
+            ckpt_blob, label=f"migrate:{self.tenant}"
+        )
+        validate_manifest(
+            manifest,
+            path=f"migrate:{self.tenant}",
+            trace_digest=self._digest,
+            detector=self._label,
+            batched=False,
+            batch_span=None,
+            shards=1,
+        )
+        if int(manifest["event_cursor"]) != cursor:
+            raise ValueError(
+                f"migrate checkpoint at cursor {manifest['event_cursor']}, "
+                f"header says {cursor}"
+            )
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        path = self._checkpoint_path(cursor)
+        tmp = path + ".import"
+        with open(tmp, "wb") as fh:
+            fh.write(ckpt_blob)
+        os.replace(tmp, path)
+        self.events_done = cursor
+        self._tail_base = tail_base
+        self._tail = [tuple(ev) for ev in tail_rows]
+        self._next_mark = (
+            cursor // self.checkpoint_every + 1
+        ) * self.checkpoint_every
+        self.resume()
+        self.races_sent = int(header["races_sent"])
+        if len(self.det.races) < self.races_sent:
+            raise ValueError(
+                f"restored detector re-derived {len(self.det.races)} races, "
+                f"but {self.races_sent} were already sent — the imported "
+                f"state cannot continue the client's race stream"
+            )
+        carried = dict(header.get("recovery") or {})
+        for key, value in carried.items():
+            if key in self.recovery:
+                self.recovery[key] = value
+        self.recovery["migrations"] = (
+            int(carried.get("migrations", 0) or 0) + 1
+        )
 
     # ------------------------------------------------------------------
     # reattach (client reconnect after drop-connection)

@@ -295,6 +295,105 @@ class TestMigration:
         assert _body(result) == P.dumps_canonical(_baseline(events))
 
 
+class TestReattachBoundary:
+    def test_reattach_mid_item_welcome_waits_for_commit(self, tmp_path):
+        """A reconnect that lands while the worker is still digesting
+        the previous attachment's frames must not be welcomed at the
+        stale committed cursor.  If it were, the client would resend
+        from there, the in-flight items would commit anyway, and the
+        overlap would be dispatched twice — inflating the cursor past
+        the client's journal so a later window of the stream is
+        silently skipped (double window + missing window, with the
+        final event count exactly right: the chaos-soak divergence)."""
+        events = _events()
+        head = 2048
+        with _server(
+            tmp_path,
+            detach_ttl=30.0,
+            dispatch_delay_us=200.0,  # ~0.4s to digest the head
+            chunk_events=64,
+        ) as h:
+            det = Detector(
+                "fasttrack", address=h.address, tenant="midflight",
+                batch_events=512,
+            )
+            det.feed(events[:head])  # flushed, NOT synced
+            det._close_socket()      # vanish with the server mid-item
+            det._reconnect()
+            # The welcome waited for the commit boundary: every event
+            # the old attachment delivered is already accounted for.
+            assert det.welcome["session"] == "reattached"
+            assert det.welcome["events_done"] == head
+            det.feed(events[head:])
+            result = det.finish()
+            assert h.server.stats["reconnects"] == 1
+        assert result["events"] == len(events)
+        assert _body(result) == P.dumps_canonical(_baseline(events))
+
+
+class TestDetachFinalizeRace:
+    def test_reattach_during_finalize_quiesce_survives(self, tmp_path):
+        """A client reattaching exactly while the detach-TTL finalizer
+        sits in its quiesce gap must get a live session back.  Without
+        the post-quiesce re-check the finalizer drops the tenant it
+        just welcomed: the client's frames then hit the straggler guard
+        and are silently ignored, and its sync stalls until timeout."""
+        import asyncio as aio
+
+        events = _events()
+        half = len(events) // 2
+        with _server(tmp_path, detach_ttl=30.0) as h:
+            det = Detector(
+                "fasttrack", address=h.address, tenant="lazarus",
+                batch_events=256,
+            )
+            det.feed(events[:half])
+            det.sync()
+            det._close_socket()
+
+            gate = {"used": False}
+
+            async def _start():
+                srv = h.server
+                gate["ev"] = aio.Event()
+                orig = srv._quiesce
+
+                async def gated_quiesce(st):
+                    await orig(st)
+                    if not gate["used"]:
+                        gate["used"] = True
+                        await gate["ev"].wait()
+
+                srv._quiesce = gated_quiesce
+                gate["task"] = srv._loop.create_task(
+                    srv._finalize_detached("lazarus")
+                )
+
+            h.call(_start)
+            det._reconnect()  # lands inside the finalizer's gap
+            assert det.welcome["session"] == "reattached"
+            assert det.welcome["events_done"] == half
+
+            async def _release():
+                gate["ev"].set()
+                await gate["task"]
+                st = h.server._tenants.get("lazarus")
+                return (
+                    st is not None
+                    and not st.gone
+                    and st.worker is not None
+                    and not st.worker.done()
+                )
+
+            assert h.call(_release), (
+                "finalizer dropped a session a client had reattached to"
+            )
+            det.feed(events[half:])
+            result = det.finish()
+            assert h.server.stats["reconnects"] == 1
+        assert _body(result) == P.dumps_canonical(_baseline(events))
+
+
 class TestBackpressure:
     def test_pause_then_shed_with_bounded_queue(self, tmp_path):
         """Flood a deliberately slow tenant: reading pauses at the high

@@ -173,3 +173,162 @@ class TestControlFrames:
         b = P.dumps_canonical({"a": [2, {"c": 4, "d": 3}], "b": 1})
         assert a == b
         assert b" " not in a
+
+
+class TestDecoderFuzz:
+    """Property corpus: arbitrary mutations of real traffic produce only
+    typed :class:`ProtocolError`\\ s, bounded buffering, and poison only
+    the stream that carried them — never a crash, hang, or unbounded
+    allocation."""
+
+    def _corpus(self):
+        hello = P.pack_frame(
+            P.T_HELLO,
+            P.encode_hello({"tenant": "fuzzee", "detector": "fasttrack"}),
+        )
+        events = P.pack_frame(
+            P.T_EVENTS,
+            P.encode_events([(1, t, 4096 + t, 4, t) for t in range(40)]),
+        )
+        finish = P.pack_frame(P.T_FINISH)
+        stats = P.pack_frame(P.T_STATS_REQ)
+        return hello + events + stats + events + finish
+
+    def _drive(self, blob, max_frame=1 << 16):
+        """Feed in random-sized chunks; return (frames, error-or-None),
+        asserting the decoder never buffers past its cap."""
+        import random as _random
+
+        dec = P.FrameDecoder(max_frame=max_frame)
+        rng = _random.Random(len(blob))
+        frames = []
+        pos = 0
+        while pos < len(blob):
+            step = rng.randint(1, 97)
+            try:
+                frames.extend(dec.feed(blob[pos : pos + step]))
+            except P.ProtocolError as err:
+                assert err.code, "protocol errors must carry a code"
+                return frames, err
+            assert dec.buffered <= max_frame + 5  # header + one payload
+            pos += step
+        return frames, None
+
+    def test_clean_corpus_roundtrips(self):
+        frames, err = self._drive(self._corpus())
+        assert err is None
+        assert [t for t, _ in frames] == [
+            P.T_HELLO, P.T_EVENTS, P.T_STATS_REQ, P.T_EVENTS, P.T_FINISH,
+        ]
+
+    def test_bitflip_sweep_only_typed_errors(self):
+        """Flip every byte of the corpus (one at a time): each mutant
+        either still parses or dies with a typed ProtocolError."""
+        blob = self._corpus()
+        outcomes = {"ok": 0, "typed": 0}
+        for i in range(len(blob)):
+            mutant = bytearray(blob)
+            mutant[i] ^= 0xFF
+            _frames, err = self._drive(bytes(mutant))
+            outcomes["typed" if err else "ok"] += 1
+        # Both outcomes occur across the sweep; nothing else ever does.
+        assert outcomes["ok"] > 0
+        assert outcomes["typed"] > 0
+
+    def test_random_truncation_and_splice(self):
+        import random as _random
+
+        blob = self._corpus()
+        rng = _random.Random(0xC0FFEE)
+        for trial in range(200):
+            cut = rng.randrange(len(blob))
+            if trial % 3 == 0:
+                mutant = blob[:cut]  # truncation
+            elif trial % 3 == 1:
+                splice = rng.randrange(len(blob))
+                mutant = blob[:cut] + blob[splice:]  # splice
+            else:
+                junk = bytes(rng.randrange(256) for _ in range(16))
+                mutant = blob[:cut] + junk + blob[cut:]  # injection
+            frames, err = self._drive(mutant)
+            # Every fully-delivered prefix frame was decoded intact.
+            if err is None and mutant == blob[:cut]:
+                assert len(frames) <= 5
+
+    def test_pure_garbage_never_allocates_per_claimed_length(self):
+        """Length fields claiming gigabytes are rejected from the header
+        alone — buffered bytes stay tiny."""
+        import random as _random
+
+        rng = _random.Random(7)
+        dec = P.FrameDecoder(max_frame=4096)
+        rejected = 0
+        for _ in range(100):
+            frame = struct.pack(
+                "<BI", rng.choice([P.T_EVENTS, P.T_HELLO, 0x7F]),
+                rng.randrange(1 << 20, 1 << 31),
+            )
+            try:
+                dec.feed(frame)
+            except P.ProtocolError as err:
+                rejected += 1
+                assert err.code in (P.E_FRAME_TOO_LARGE, P.E_BAD_FRAME)
+                dec = P.FrameDecoder(max_frame=4096)  # poisoned; new one
+            assert dec.buffered < 64
+        assert rejected == 100
+
+    def test_large_type_cap_applies_only_to_migrate(self):
+        dec = P.FrameDecoder(max_frame=4096, max_large_frame=1 << 20)
+        # EVENTS past max_frame: rejected.
+        with pytest.raises(P.ProtocolError):
+            dec.feed(struct.pack("<BI", P.T_EVENTS, 1 << 19))
+        # MIGRATE_IMPORT within the large cap: accepted (incomplete).
+        dec = P.FrameDecoder(max_frame=4096, max_large_frame=1 << 20)
+        assert dec.feed(struct.pack("<BI", P.T_MIGRATE_IMPORT, 1 << 19)) == []
+
+
+class TestMigrateImportCodec:
+    def _payload(self, **overrides):
+        header = {
+            "tenant": "t", "detector": "fasttrack-byte",
+            "events_done": 1200, "races_sent": 3, "tail_base": 800,
+        }
+        header.update(overrides)
+        tail = [(1, 0, 4096 + i, 4, i) for i in range(10)]
+        return P.encode_migrate_import(header, b"CKPTBYTES" * 100, tail)
+
+    def test_roundtrip(self):
+        header, blob, tail = P.decode_migrate_import(self._payload())
+        assert header["tenant"] == "t"
+        assert header["events_done"] == 1200
+        assert blob == b"CKPTBYTES" * 100
+        assert len(tail) == 10
+
+    def test_empty_tail_roundtrips(self):
+        payload = P.encode_migrate_import(
+            {"tenant": "t", "detector": "d", "events_done": 400,
+             "races_sent": 0, "tail_base": 400},
+            b"x", [],
+        )
+        _header, _blob, tail = P.decode_migrate_import(payload)
+        assert tail == []
+
+    def test_missing_header_field_rejected(self):
+        header = {"tenant": "t", "detector": "d", "events_done": 1}
+        payload = P.encode_migrate_import(header, b"x", [])
+        with pytest.raises(P.ProtocolError):
+            P.decode_migrate_import(payload)
+
+    def test_truncations_rejected_typed(self):
+        payload = self._payload()
+        for cut in range(0, len(payload) - 1, 37):
+            try:
+                P.decode_migrate_import(payload[:cut])
+            except P.ProtocolError as err:
+                assert err.code
+            # Some cuts still parse (tail is self-delimiting); fine.
+
+    def test_ragged_tail_rejected(self):
+        payload = self._payload() + b"x"  # no longer row-aligned
+        with pytest.raises(P.ProtocolError):
+            P.decode_migrate_import(payload)

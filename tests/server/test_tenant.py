@@ -202,3 +202,90 @@ class TestCheckpointHygiene:
         _stream(session, events[700:], chunk=100)
         result = session.finish()
         assert _result_body(result) == dumps_canonical(_baseline(events))
+
+
+class TestCheckpointGC:
+    def test_gc_counts_and_keeps_newest(self, tmp_path, events):
+        session = _session(tmp_path, checkpoint_every=200, keep_checkpoints=2)
+        _stream(session, events, chunk=100)
+        assert session.recovery["checkpoints_gced"] >= 1
+        kept = session.checkpoints()
+        assert len(kept) <= 2
+        # The retained generations are the newest ones.
+        written = session.recovery["checkpoints_written"]
+        cursors = sorted(
+            int(os.path.basename(p).split("-")[1].split(".")[0])
+            for p in kept
+        )
+        assert cursors[-1] == written * 200
+
+    def test_generation_fallback_survives_gc(self, tmp_path, events):
+        """After GC pruned old generations, corrupting the newest one
+        must still fall back to the older *retained* generation — GC
+        may never eat the safety margin."""
+        session = _session(tmp_path, checkpoint_every=300, keep_checkpoints=2)
+        _stream(session, events[:1800], chunk=100)
+        assert session.recovery["checkpoints_gced"] >= 1
+        newest = session.checkpoints()[-1]
+        with open(newest, "r+b") as fh:
+            fh.seek(0)
+            fh.write(b"\x00" * 64)
+        session.resume()
+        assert session.recovery["bad_checkpoints"] >= 1
+        _stream(session, events[1800:], chunk=100)
+        result = session.finish()
+        assert _result_body(result) == dumps_canonical(_baseline(events))
+
+
+class TestExportImport:
+    def test_export_adopt_byte_identical(self, tmp_path, events):
+        donor = _session(tmp_path, checkpoint_every=300)
+        half = len(events) // 2
+        _stream(donor, events[:half], chunk=100)
+        donor.new_races()  # races streamed to the client so far
+        header, blob, tail = donor.export_state()
+        assert header["events_done"] == half
+        assert header["tail_base"] + len(tail) >= half
+
+        heir = TenantSession(
+            "t1", DETECTOR,
+            checkpoint_dir=str(tmp_path / "peer"), checkpoint_every=300,
+        )
+        heir.adopt_import(header, blob, tail)
+        assert heir.events_done == half
+        assert heir.races_sent == header["races_sent"]
+        assert heir.recovery["migrations"] == 1
+        _stream(heir, events[half:], chunk=100)
+        result = heir.finish()
+        assert _result_body(result) == dumps_canonical(_baseline(events))
+
+    def test_adopt_rejects_corrupt_blob(self, tmp_path, events):
+        donor = _session(tmp_path, checkpoint_every=300)
+        _stream(donor, events[:600], chunk=100)
+        header, blob, tail = donor.export_state()
+        heir = TenantSession(
+            "t1", DETECTOR, checkpoint_dir=str(tmp_path / "peer"),
+        )
+        mangled = blob[:50] + b"\x00\x00\x00\x00" + blob[54:]
+        with pytest.raises(Exception):
+            heir.adopt_import(header, mangled, tail)
+        # Nothing was landed on disk for the failed adoption.
+        assert heir.checkpoints() == []
+
+    def test_adopt_rejects_short_tail(self, tmp_path, events):
+        donor = _session(tmp_path, checkpoint_every=300)
+        _stream(donor, events[:600], chunk=100)
+        header, blob, tail = donor.export_state()
+        header = dict(header, tail_base=header["tail_base"] + 50)
+        heir = TenantSession(
+            "t1", DETECTOR, checkpoint_dir=str(tmp_path / "peer"),
+        )
+        with pytest.raises(ValueError):
+            heir.adopt_import(header, blob, tail[:-60] if len(tail) > 60 else [])
+
+    def test_export_refused_after_finish(self, tmp_path, events):
+        session = _session(tmp_path)
+        _stream(session, events[:200], chunk=100)
+        session.finish()
+        with pytest.raises(ValueError):
+            session.export_state()
